@@ -1,0 +1,123 @@
+//! Baseline placers for the paper's evaluation (Tables I–III).
+//!
+//! The paper compares ePlace against twelve binary-only competitors spanning
+//! three algorithm families (§I). This crate implements one faithful
+//! representative per family, plus the paper's own predecessor:
+//!
+//! | baseline | family | stands in for |
+//! |---|---|---|
+//! | [`MincutPlacer`] | min-cut | Capo 10.5 |
+//! | [`QuadraticPlacer`] | quadratic | FastPlace3.0 / ComPLx / POLAR |
+//! | [`BellshapePlacer`] | nonlinear (bell-shape + CG line search) | APlace3 / NTUplace3 / mPL6 |
+//! | [`CgPlacer`] | nonlinear (eDensity + CG line search) | FFTPL \[10\] |
+//!
+//! All implement [`GlobalPlacer`]: they take a design and produce a *global*
+//! placement (overlap mostly resolved, nothing legalized); the benchmark
+//! harness runs the identical downstream flow (mLG/cDP) on every placer so
+//! the tables compare the global-placement algorithms, as the contest
+//! protocol does.
+//!
+//! # Examples
+//!
+//! ```
+//! use eplace_baselines::{GlobalPlacer, QuadraticPlacer};
+//! use eplace_benchgen::BenchmarkConfig;
+//!
+//! let mut design = BenchmarkConfig::ispd05_like("b", 3).scale(200).generate();
+//! let result = QuadraticPlacer::default().global_place(&mut design);
+//! assert!(result.hpwl > 0.0);
+//! ```
+
+mod bellshape;
+mod cg;
+mod mincut;
+mod quadratic;
+
+pub use bellshape::BellshapePlacer;
+pub use cg::CgPlacer;
+pub use mincut::MincutPlacer;
+pub use quadratic::QuadraticPlacer;
+
+use eplace_density::{grid_dimension, DensityGrid, DensityObject};
+use eplace_netlist::Design;
+
+/// Outcome of one global placement run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpResult {
+    /// HPWL of the produced (global, not legalized) placement.
+    pub hpwl: f64,
+    /// Density overflow τ measured by [`measure_overflow`].
+    pub overflow: f64,
+    /// Iterations (solver-specific notion).
+    pub iterations: usize,
+    /// Wall-clock seconds of the run.
+    pub seconds: f64,
+    /// Seconds spent inside line search (0 for solvers without one) —
+    /// quantifies the §V-A claim that line search dominates CG runtime.
+    pub line_search_seconds: f64,
+}
+
+/// A global-placement algorithm under comparison.
+pub trait GlobalPlacer {
+    /// Short name for table rows ("mincut", "quadratic", …).
+    fn name(&self) -> &'static str;
+
+    /// Produces a global placement of every movable cell of `design` in
+    /// place.
+    fn global_place(&self, design: &mut Design) -> GpResult;
+}
+
+/// The shared overflow oracle: τ of the current (filler-free) layout on the
+/// standard grid policy, identical for every placer so the tables' density
+/// columns are comparable.
+pub fn measure_overflow(design: &Design) -> f64 {
+    let movables: Vec<usize> = design.movable_indices().collect();
+    if movables.is_empty() {
+        return 0.0;
+    }
+    let dim = grid_dimension(movables.len(), 16, 512);
+    let mut grid = DensityGrid::new(design.region, dim, dim, design.target_density);
+    for c in design.cells.iter().filter(|c| c.fixed) {
+        grid.add_fixed(c.rect());
+    }
+    let objects: Vec<DensityObject> = movables
+        .iter()
+        .map(|&i| DensityObject::movable(design.cells[i].size))
+        .collect();
+    let pos: Vec<_> = movables.iter().map(|&i| design.cells[i].pos).collect();
+    grid.deposit(&objects, &pos);
+    grid.overflow()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eplace_benchgen::BenchmarkConfig;
+
+    #[test]
+    fn overflow_oracle_spread_vs_piled() {
+        let mut d = BenchmarkConfig::ispd05_like("o", 81).scale(200).generate();
+        // Generator scatters uniformly: moderate overflow.
+        let scattered = measure_overflow(&d);
+        // Pile everything up.
+        let center = d.region.center();
+        for c in d.cells.iter_mut().filter(|c| c.is_movable()) {
+            c.pos = center;
+        }
+        let piled = measure_overflow(&d);
+        assert!(piled > scattered);
+        assert!(piled > 0.5);
+    }
+
+    #[test]
+    fn all_baselines_have_distinct_names() {
+        let names = [
+            MincutPlacer::default().name(),
+            QuadraticPlacer::default().name(),
+            BellshapePlacer::default().name(),
+            CgPlacer::default().name(),
+        ];
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+}

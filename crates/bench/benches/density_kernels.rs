@@ -1,0 +1,52 @@
+//! Criterion benches of the per-iteration mGP kernels: charge deposit +
+//! Poisson solve (57 % of mGP in Fig. 7) and the WA wirelength gradient
+//! (29 %).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eplace_benchgen::BenchmarkConfig;
+use eplace_core::PlacementProblem;
+use eplace_density::{grid_dimension, DensityGrid};
+use eplace_geometry::Point;
+use eplace_wirelength::{SmoothWirelength, WaModel};
+use std::hint::black_box;
+
+fn bench_density_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("density_deposit_solve");
+    group.sample_size(20);
+    for &cells in &[1_000usize, 4_000] {
+        let design = BenchmarkConfig::ispd05_like("bench", 7).scale(cells).generate();
+        let problem = PlacementProblem::all_movables(&design);
+        let dim = grid_dimension(problem.len(), 16, 512);
+        let mut grid = DensityGrid::new(design.region, dim, dim, 1.0);
+        for cell in design.cells.iter().filter(|c| c.fixed) {
+            grid.add_fixed(cell.rect());
+        }
+        let pos = problem.positions(&design);
+        group.bench_with_input(BenchmarkId::from_parameter(cells), &cells, |b, _| {
+            b.iter(|| {
+                grid.deposit(black_box(&problem.objects), black_box(&pos));
+                grid.solve();
+                grid.overflow()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_wa_gradient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wa_gradient");
+    group.sample_size(20);
+    for &cells in &[1_000usize, 4_000] {
+        let design = BenchmarkConfig::ispd05_like("bench", 8).scale(cells).generate();
+        let mut wa = WaModel::new(&design);
+        let pos: Vec<Point> = design.cells.iter().map(|c| c.pos).collect();
+        let mut grad = vec![Point::ORIGIN; pos.len()];
+        group.bench_with_input(BenchmarkId::from_parameter(cells), &cells, |b, _| {
+            b.iter(|| wa.gradient(black_box(&design), black_box(&pos), 10.0, &mut grad))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_density_solve, bench_wa_gradient);
+criterion_main!(benches);

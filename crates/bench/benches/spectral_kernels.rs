@@ -1,0 +1,65 @@
+//! Criterion benches of the spectral substrate: the FFT/DCT kernels whose
+//! O(n log n) scaling underwrites the paper's density-solve complexity
+//! claim (§IV).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eplace_spectral::{Complex, DctPlan, FftPlan, Transform2d};
+use std::hint::black_box;
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_forward");
+    for &n in &[256usize, 1024, 4096] {
+        let plan = FftPlan::new(n);
+        let data: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64).cos()))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                plan.forward(black_box(&mut buf));
+                buf
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dct2");
+    for &n in &[256usize, 1024] {
+        let plan = DctPlan::new(n);
+        let data: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| plan.dct2(black_box(&data)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_transform2d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poisson_transform_round");
+    group.sample_size(20);
+    for &n in &[64usize, 128, 256] {
+        let mut t = Transform2d::new(n, n);
+        let data: Vec<f64> = (0..n * n).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                // One density-solve's worth of transforms: analysis + three
+                // syntheses.
+                let mut a = data.clone();
+                t.dct2(&mut a);
+                let mut psi = a.clone();
+                t.dct3(&mut psi);
+                let mut fx = a.clone();
+                t.dst3_x(&mut fx);
+                let mut fy = a;
+                t.dst3_y(&mut fy);
+                (psi, fx, fy)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft, bench_dct, bench_transform2d);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Reproduces **Table I**: HPWL on the ISPD-2005-like suite (std-cell only,
+//! ρ_t = 1.0; mLG/cGP disabled automatically because macros are fixed).
+//!
+//! Usage: `repro_table1 [--scale N] [--circuit NAME]`
+
+use eplace_bench::{filter_suite, format_table, parse_args, run_suite, Metric};
+use eplace_benchgen::BenchmarkSuite;
+use eplace_core::EplaceConfig;
+
+fn main() {
+    let (scale, circuit, _) = parse_args(150);
+    let suite = filter_suite(BenchmarkSuite::ispd05(scale), &circuit);
+    eprintln!(
+        "Table I reproduction: {} circuits at base scale {scale}",
+        suite.len()
+    );
+    let rows = run_suite(&suite, &EplaceConfig::fast());
+    println!("\nTable I — HPWL, ISPD-2005-like suite (lower is better)");
+    println!("paper shape: ePlace best on all rows; quadratic ~3-5% worse; mincut worst\n");
+    print!("{}", format_table(&rows, Metric::Hpwl));
+}

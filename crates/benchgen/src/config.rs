@@ -1,0 +1,153 @@
+use eplace_netlist::Design;
+
+/// Parameters of one synthetic benchmark circuit.
+///
+/// Use the suite constructors ([`BenchmarkConfig::ispd05_like`],
+/// [`BenchmarkConfig::ispd06_like`], [`BenchmarkConfig::mms_like`]) and then
+/// [`BenchmarkConfig::scale`] to pick the cell count; the remaining knobs
+/// have contest-calibrated defaults but are public for experiments.
+///
+/// # Examples
+///
+/// ```
+/// use eplace_benchgen::BenchmarkConfig;
+///
+/// let cfg = BenchmarkConfig::mms_like("bigblue_like", 3, 1.0, 24).scale(1_000);
+/// let design = cfg.generate();
+/// assert_eq!(design.target_density, 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkConfig {
+    /// Circuit name (becomes [`Design::name`]).
+    pub name: String,
+    /// RNG seed; same config + seed ⇒ identical design.
+    pub seed: u64,
+    /// Number of standard cells.
+    pub std_cells: usize,
+    /// Number of movable macros (MMS-style; 0 for the std-cell suites).
+    pub movable_macros: usize,
+    /// Number of fixed macros/blockages.
+    pub fixed_macros: usize,
+    /// Number of fixed IO pads on the periphery.
+    pub io_pads: usize,
+    /// Density upper bound ρ_t (1.0 = unconstrained).
+    pub target_density: f64,
+    /// Movable area as a fraction of free area (placement difficulty).
+    pub utilization: f64,
+    /// Nets per standard cell (contest circuits sit near 1.0).
+    pub nets_per_cell: f64,
+    /// Rent-style locality: fraction of nets escaping a cluster per level.
+    pub rent_exponent: f64,
+}
+
+impl BenchmarkConfig {
+    /// An ISPD-2005-like circuit: standard cells plus *fixed* macros, no
+    /// density cap (ρ_t = 1).
+    pub fn ispd05_like(name: impl Into<String>, seed: u64) -> Self {
+        BenchmarkConfig {
+            name: name.into(),
+            seed,
+            std_cells: 2_000,
+            movable_macros: 0,
+            fixed_macros: 12,
+            io_pads: 64,
+            target_density: 1.0,
+            utilization: 0.65,
+            nets_per_cell: 1.0,
+            rent_exponent: 0.65,
+        }
+    }
+
+    /// An ISPD-2006-like circuit: like 2005 but with a benchmark density
+    /// upper bound `rho_t` (the contest used 0.5–0.9) and more whitespace.
+    ///
+    /// Utilization is capped at `0.75·ρ_t`: the contest circuits keep the
+    /// movable area well under the density budget (an instance with
+    /// utilization ≥ ρ_t is infeasible — no layout can satisfy the per-bin
+    /// cap).
+    pub fn ispd06_like(name: impl Into<String>, seed: u64, rho_t: f64) -> Self {
+        BenchmarkConfig {
+            target_density: rho_t,
+            utilization: 0.45f64.min(0.75 * rho_t),
+            ..BenchmarkConfig::ispd05_like(name, seed)
+        }
+    }
+
+    /// An MMS-like circuit: same netlist statistics but with
+    /// `movable_macros` freed and fixed IO blocks inserted (the MMS suites
+    /// are ISPD netlists with macros freed \[21\]).
+    pub fn mms_like(
+        name: impl Into<String>,
+        seed: u64,
+        rho_t: f64,
+        movable_macros: usize,
+    ) -> Self {
+        BenchmarkConfig {
+            movable_macros,
+            fixed_macros: 0,
+            target_density: rho_t,
+            // Feasibility cap, as in `ispd06_like`.
+            utilization: 0.55f64.min(0.75 * rho_t),
+            ..BenchmarkConfig::ispd05_like(name, seed)
+        }
+    }
+
+    /// Sets the standard-cell count (macro/pad counts stay proportional to
+    /// the preset).
+    #[must_use]
+    pub fn scale(mut self, std_cells: usize) -> Self {
+        self.std_cells = std_cells;
+        self
+    }
+
+    /// Generates the design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (zero cells, utilization
+    /// outside `(0, 1)`, ρ_t outside `(0, 1]`).
+    pub fn generate(&self) -> Design {
+        assert!(self.std_cells > 0, "need at least one standard cell");
+        assert!(
+            self.utilization > 0.0 && self.utilization < 1.0,
+            "utilization must be in (0,1)"
+        );
+        assert!(
+            self.target_density > 0.0 && self.target_density <= 1.0,
+            "target density must be in (0,1]"
+        );
+        crate::generate_design(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_where_expected() {
+        let a = BenchmarkConfig::ispd05_like("a", 1);
+        let b = BenchmarkConfig::ispd06_like("b", 1, 0.5);
+        let m = BenchmarkConfig::mms_like("m", 1, 0.8, 10);
+        assert_eq!(a.target_density, 1.0);
+        assert_eq!(b.target_density, 0.5);
+        assert_eq!(m.movable_macros, 10);
+        assert_eq!(m.fixed_macros, 0);
+        assert!(b.utilization < a.utilization);
+    }
+
+    #[test]
+    fn scale_only_touches_cell_count() {
+        let cfg = BenchmarkConfig::ispd05_like("a", 1).scale(5_000);
+        assert_eq!(cfg.std_cells, 5_000);
+        assert_eq!(cfg.io_pads, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn bad_utilization_panics() {
+        let mut cfg = BenchmarkConfig::ispd05_like("a", 1);
+        cfg.utilization = 1.5;
+        let _ = cfg.generate();
+    }
+}

@@ -1,0 +1,56 @@
+//! Deterministic synthetic benchmark generator.
+//!
+//! The paper evaluates on the ISPD 2005 \[13\], ISPD 2006 \[12\] and MMS \[21\]
+//! contest suites, which are distributed as large proprietary tarballs.
+//! This crate generates circuits with the same *statistical* anatomy —
+//! Rent's-rule net locality, contest-like net-degree and cell-size
+//! distributions, fixed IO pads, movable or fixed macros, whitespace and a
+//! per-suite density target ρ_t — so every experiment in the paper can run
+//! on inputs whose algorithmically relevant properties match (see DESIGN.md
+//! §1 for the substitution argument).
+//!
+//! Everything is seeded: the same [`BenchmarkConfig`] always yields the same
+//! [`Design`], bit for bit.
+//!
+//! # Examples
+//!
+//! ```
+//! use eplace_benchgen::BenchmarkConfig;
+//!
+//! let design = BenchmarkConfig::ispd05_like("adaptec1_like", 1).scale(500).generate();
+//! assert!(design.validate().is_ok());
+//! assert!(design.cells.len() >= 500);
+//! ```
+
+mod config;
+mod generate;
+mod suite;
+
+pub use config::BenchmarkConfig;
+pub use suite::BenchmarkSuite;
+
+pub(crate) use generate::generate_design;
+
+use eplace_netlist::Design;
+
+/// Writes `config`'s design to `dir` as a Bookshelf-independent snapshot:
+/// generates the design and returns it, for symmetry with the parser tests.
+/// (On-disk emission lives in `eplace-bookshelf::write_aux`.)
+pub fn generate(config: &BenchmarkConfig) -> Design {
+    config.generate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_function_matches_method() {
+        let cfg = BenchmarkConfig::ispd05_like("x", 7).scale(200);
+        let a = generate(&cfg);
+        let b = cfg.generate();
+        assert_eq!(a.cells.len(), b.cells.len());
+        assert_eq!(a.nets.len(), b.nets.len());
+        assert_eq!(a.cells[17].pos, b.cells[17].pos);
+    }
+}

@@ -1,0 +1,148 @@
+use crate::BenchmarkConfig;
+
+/// The three benchmark suites of the paper's evaluation, miniaturized.
+///
+/// Each entry mirrors one contest circuit: the *relative* cell counts,
+/// macro counts and density targets follow Tables I–III, scaled by the
+/// caller-provided base size so the whole table regenerates in minutes on a
+/// laptop instead of hours on the authors' testbed.
+///
+/// # Examples
+///
+/// ```
+/// use eplace_benchgen::BenchmarkSuite;
+///
+/// let suite = BenchmarkSuite::ispd05(500);
+/// assert_eq!(suite.len(), 8);
+/// assert!(suite[0].name.contains("adaptec1"));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BenchmarkSuite;
+
+impl BenchmarkSuite {
+    /// ISPD-2005-like suite (Table I): 8 std-cell circuits, ρ_t = 1.
+    /// `base` is the cell count of the smallest circuit (ADAPTEC1).
+    pub fn ispd05(base: usize) -> Vec<BenchmarkConfig> {
+        // Relative sizes from Table I (# Cells column, ADAPTEC1 = 1.0).
+        let rel = [
+            ("adaptec1_like", 1.00),
+            ("adaptec2_like", 1.21),
+            ("adaptec3_like", 2.14),
+            ("adaptec4_like", 2.35),
+            ("bigblue1_like", 1.32),
+            ("bigblue2_like", 2.64),
+            ("bigblue3_like", 5.20),
+            ("bigblue4_like", 10.32),
+        ];
+        rel.iter()
+            .enumerate()
+            .map(|(i, (name, r))| {
+                BenchmarkConfig::ispd05_like(*name, 1_000 + i as u64)
+                    .scale(((base as f64) * r) as usize)
+            })
+            .collect()
+    }
+
+    /// ISPD-2006-like suite (Table II): 8 circuits with contest density
+    /// targets.
+    pub fn ispd06(base: usize) -> Vec<BenchmarkConfig> {
+        let rel = [
+            ("adaptec5_like", 2.55, 0.5),
+            ("newblue1_like", 1.00, 0.8),
+            ("newblue2_like", 1.34, 0.9),
+            ("newblue3_like", 1.50, 0.8),
+            ("newblue4_like", 1.96, 0.5),
+            ("newblue5_like", 3.74, 0.5),
+            ("newblue6_like", 3.80, 0.8),
+            ("newblue7_like", 7.60, 0.8),
+        ];
+        rel.iter()
+            .enumerate()
+            .map(|(i, (name, r, rho))| {
+                BenchmarkConfig::ispd06_like(*name, 2_000 + i as u64, *rho)
+                    .scale(((base as f64) * r) as usize)
+            })
+            .collect()
+    }
+
+    /// MMS-like suite (Table III): 16 mixed-size circuits with movable
+    /// macros. Macro counts follow the "# Mac" column, compressed to keep
+    /// small instances meaningful (min 8, scaled by `base/2000` capped at
+    /// the paper's count).
+    pub fn mms(base: usize) -> Vec<BenchmarkConfig> {
+        let rel: [(&str, f64, usize, f64); 16] = [
+            ("adaptec1_mms", 1.00, 63, 1.0),
+            ("adaptec2_mms", 1.21, 127, 1.0),
+            ("adaptec3_mms", 2.14, 58, 1.0),
+            ("adaptec4_mms", 2.35, 69, 1.0),
+            ("bigblue1_mms", 1.32, 32, 1.0),
+            ("bigblue2_mms", 2.64, 959, 1.0),
+            ("bigblue3_mms", 5.20, 2549, 1.0),
+            ("bigblue4_mms", 10.32, 199, 1.0),
+            ("adaptec5_mms", 4.00, 76, 0.5),
+            ("newblue1_mms", 1.56, 64, 0.8),
+            ("newblue2_mms", 2.10, 3748, 0.9),
+            ("newblue3_mms", 2.34, 51, 0.8),
+            ("newblue4_mms", 3.06, 81, 0.5),
+            ("newblue5_mms", 5.85, 91, 0.5),
+            ("newblue6_mms", 5.95, 74, 0.8),
+            ("newblue7_mms", 11.89, 161, 0.8),
+        ];
+        rel.iter()
+            .enumerate()
+            .map(|(i, (name, r, macs, rho))| {
+                let cells = ((base as f64) * r) as usize;
+                // Compress macro counts to the reduced scale: at least 8,
+                // at most cells/25, never more than the paper's count.
+                let macros = ((*macs as f64 * base as f64 / 200_000.0).ceil() as usize)
+                    .max(8)
+                    .min(cells / 25)
+                    .min(*macs);
+                BenchmarkConfig::mms_like(*name, 3_000 + i as u64, *rho, macros.max(4))
+                    .scale(cells)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_table_cardinalities() {
+        assert_eq!(BenchmarkSuite::ispd05(200).len(), 8);
+        assert_eq!(BenchmarkSuite::ispd06(200).len(), 8);
+        assert_eq!(BenchmarkSuite::mms(200).len(), 16);
+    }
+
+    #[test]
+    fn ispd06_density_targets_match_table2() {
+        let suite = BenchmarkSuite::ispd06(200);
+        let rhos: Vec<f64> = suite.iter().map(|c| c.target_density).collect();
+        assert_eq!(rhos, vec![0.5, 0.8, 0.9, 0.8, 0.5, 0.5, 0.8, 0.8]);
+    }
+
+    #[test]
+    fn mms_all_have_movable_macros() {
+        for cfg in BenchmarkSuite::mms(500) {
+            assert!(cfg.movable_macros >= 4, "{}", cfg.name);
+            assert_eq!(cfg.fixed_macros, 0);
+        }
+    }
+
+    #[test]
+    fn sizes_scale_relative_to_base() {
+        let suite = BenchmarkSuite::ispd05(1_000);
+        assert_eq!(suite[0].std_cells, 1_000);
+        assert!(suite[7].std_cells > 10_000);
+    }
+
+    #[test]
+    fn every_config_generates_a_valid_design() {
+        for cfg in BenchmarkSuite::mms(120).into_iter().take(3) {
+            let d = cfg.generate();
+            assert!(d.validate().is_ok(), "{}", cfg.name);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Reader and writer for the **Bookshelf** placement format — the exchange
+//! format of the ISPD 2005 \[13\], ISPD 2006 \[12\] and MMS \[21\] contest suites
+//! the paper evaluates on.
+//!
+//! A benchmark is a `.aux` file naming five companions:
+//!
+//! | file     | contents                                    |
+//! |----------|---------------------------------------------|
+//! | `.nodes` | objects with dimensions and terminal flags  |
+//! | `.nets`  | hypergraph with pin offsets (from centers)  |
+//! | `.wts`   | net weights (all 1.0 in the contest suites) |
+//! | `.pl`    | lower-left positions, orientations, /FIXED  |
+//! | `.scl`   | standard-cell rows                          |
+//!
+//! Reading produces an [`eplace_netlist::Design`]; writing emits a complete,
+//! re-readable benchmark directory. Kind inference follows the suites'
+//! conventions: `terminal` nodes are fixed IO/blockages, movable nodes
+//! taller than the row height are macros (the MMS suites free the macros),
+//! everything else is a standard cell.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use eplace_bookshelf::{read_aux, write_aux};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let design = read_aux("benchmarks/adaptec1/adaptec1.aux")?;
+//! println!("{} cells", design.cells.len());
+//! write_aux(&design, "out_dir", "adaptec1_replaced")?;
+//! # Ok(())
+//! # }
+//! ```
+
+mod assemble;
+mod parse;
+mod write;
+
+pub use assemble::assemble_design;
+pub use parse::{
+    parse_aux, parse_nets, parse_nodes, parse_pl, parse_scl, parse_wts, NetsFile, NodeRecord,
+    NodesFile, PlRecord, SclRow,
+};
+pub use write::{write_aux, write_pl};
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Error raised while reading or interpreting a Bookshelf benchmark.
+#[derive(Debug)]
+pub enum BookshelfError {
+    /// Underlying filesystem error.
+    Io {
+        /// File being accessed.
+        path: PathBuf,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// A syntax or semantic problem in one of the files.
+    Parse {
+        /// Which file (by extension or path).
+        file: String,
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for BookshelfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BookshelfError::Io { path, source } => {
+                write!(f, "io error on {}: {source}", path.display())
+            }
+            BookshelfError::Parse {
+                file,
+                line,
+                message,
+            } => write!(f, "{file}:{line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for BookshelfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BookshelfError::Io { source, .. } => Some(source),
+            BookshelfError::Parse { .. } => None,
+        }
+    }
+}
+
+impl BookshelfError {
+    pub(crate) fn parse(file: &str, line: usize, message: impl Into<String>) -> Self {
+        BookshelfError::Parse {
+            file: file.to_string(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+/// Reads a complete benchmark rooted at a `.aux` file into a
+/// [`eplace_netlist::Design`].
+///
+/// # Errors
+///
+/// Returns [`BookshelfError::Io`] when a file is missing/unreadable and
+/// [`BookshelfError::Parse`] (with file and line) on malformed content.
+pub fn read_aux(aux_path: impl AsRef<Path>) -> Result<eplace_netlist::Design, BookshelfError> {
+    let aux_path = aux_path.as_ref();
+    let dir = aux_path.parent().unwrap_or_else(|| Path::new("."));
+    let read = |p: &Path| -> Result<String, BookshelfError> {
+        std::fs::read_to_string(p).map_err(|source| BookshelfError::Io {
+            path: p.to_path_buf(),
+            source,
+        })
+    };
+    let aux_text = read(aux_path)?;
+    let files = parse_aux(&aux_text)?;
+    let mut nodes = None;
+    let mut nets = None;
+    let mut wts = None;
+    let mut pl = None;
+    let mut scl = None;
+    for name in &files {
+        let path = dir.join(name);
+        let lower = name.to_lowercase();
+        let text = read(&path)?;
+        if lower.ends_with(".nodes") {
+            nodes = Some(parse_nodes(&text)?);
+        } else if lower.ends_with(".nets") {
+            nets = Some(parse_nets(&text)?);
+        } else if lower.ends_with(".wts") {
+            wts = Some(parse_wts(&text)?);
+        } else if lower.ends_with(".pl") {
+            pl = Some(parse_pl(&text)?);
+        } else if lower.ends_with(".scl") {
+            scl = Some(parse_scl(&text)?);
+        } else {
+            return Err(BookshelfError::parse(
+                name,
+                0,
+                "unknown file kind referenced by .aux",
+            ));
+        }
+    }
+    let name = aux_path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "bookshelf".to_string());
+    let nodes = nodes.ok_or_else(|| BookshelfError::parse("aux", 0, "missing .nodes file"))?;
+    let nets = nets.ok_or_else(|| BookshelfError::parse("aux", 0, "missing .nets file"))?;
+    let pl = pl.ok_or_else(|| BookshelfError::parse("aux", 0, "missing .pl file"))?;
+    let scl = scl.ok_or_else(|| BookshelfError::parse("aux", 0, "missing .scl file"))?;
+    assemble_design(&name, nodes, nets, wts.unwrap_or_default(), pl, scl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_forms() {
+        let e = BookshelfError::parse("x.nodes", 7, "bad token");
+        assert_eq!(e.to_string(), "x.nodes:7: bad token");
+        let io = BookshelfError::Io {
+            path: PathBuf::from("/nope"),
+            source: std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        };
+        assert!(io.to_string().contains("/nope"));
+        use std::error::Error;
+        assert!(io.source().is_some());
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn read_aux_missing_file_is_io_error() {
+        let err = read_aux("/definitely/not/here.aux").unwrap_err();
+        assert!(matches!(err, BookshelfError::Io { .. }));
+    }
+}
+
+#[cfg(test)]
+mod proptests;

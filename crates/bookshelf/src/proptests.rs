@@ -1,0 +1,60 @@
+//! Robustness properties: the parsers must never panic, whatever bytes they
+//! are fed — malformed input yields `Err`, not a crash.
+
+use crate::parse::{parse_aux, parse_nets, parse_nodes, parse_pl, parse_scl, parse_wts};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn parse_nodes_never_panics(text in ".{0,400}") {
+        let _ = parse_nodes(&text);
+    }
+
+    #[test]
+    fn parse_nets_never_panics(text in ".{0,400}") {
+        let _ = parse_nets(&text);
+    }
+
+    #[test]
+    fn parse_pl_never_panics(text in ".{0,400}") {
+        let _ = parse_pl(&text);
+    }
+
+    #[test]
+    fn parse_scl_never_panics(text in ".{0,400}") {
+        let _ = parse_scl(&text);
+    }
+
+    #[test]
+    fn parse_wts_never_panics(text in ".{0,400}") {
+        let _ = parse_wts(&text);
+    }
+
+    #[test]
+    fn parse_aux_never_panics(text in ".{0,400}") {
+        let _ = parse_aux(&text);
+    }
+
+    /// Structured-ish fuzzing: near-valid node files with random whitespace
+    /// and numerals either parse or fail gracefully — and when they parse,
+    /// the record count matches the line count.
+    #[test]
+    fn near_valid_nodes_roundtrip(
+        names in proptest::collection::vec("[a-z][a-z0-9]{0,8}", 1..10),
+        widths in proptest::collection::vec(1u32..500, 10),
+    ) {
+        let mut text = String::from("UCLA nodes 1.0\n");
+        for (i, name) in names.iter().enumerate() {
+            let w = widths[i % widths.len()];
+            text.push_str(&format!("  {name}_{i} {w} 12\n"));
+        }
+        let parsed = parse_nodes(&text).unwrap();
+        prop_assert_eq!(parsed.nodes.len(), names.len());
+        for (i, rec) in parsed.nodes.iter().enumerate() {
+            prop_assert_eq!(rec.width, widths[i % widths.len()] as f64);
+            prop_assert!(!rec.terminal);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests of the electrostatic system: conservation laws and
+//! solver invariants on arbitrary object soups.
+
+use crate::{DensityGrid, DensityObject};
+use eplace_geometry::{Point, Rect, Size};
+use proptest::prelude::*;
+
+fn arb_objects() -> impl Strategy<Value = Vec<(DensityObject, Point)>> {
+    proptest::collection::vec(
+        (
+            1.0f64..20.0,  // width
+            1.0f64..20.0,  // height
+            0.0f64..128.0, // x
+            0.0f64..128.0, // y
+            any::<bool>(), // filler?
+        ),
+        1..25,
+    )
+    .prop_map(|items| {
+        items
+            .into_iter()
+            .map(|(w, h, x, y, filler)| {
+                let size = Size::new(w, h);
+                let obj = if filler {
+                    DensityObject::filler(size)
+                } else {
+                    DensityObject::movable(size)
+                };
+                (obj, Point::new(x, y))
+            })
+            .collect()
+    })
+}
+
+fn grid_with(objs: &[(DensityObject, Point)]) -> DensityGrid {
+    let mut grid = DensityGrid::new(Rect::new(0.0, 0.0, 128.0, 128.0), 16, 16, 1.0);
+    let (objects, pos): (Vec<_>, Vec<_>) = objs.iter().cloned().unzip();
+    grid.deposit(&objects, &pos);
+    grid
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn charge_is_conserved(objs in arb_objects()) {
+        let grid = grid_with(&objs);
+        let total: f64 = grid.charge_map().iter().sum();
+        let expect: f64 = objs.iter().map(|(o, _)| o.charge()).sum();
+        prop_assert!((total - expect).abs() < 1e-6 * expect.max(1.0));
+    }
+
+    #[test]
+    fn potential_is_zero_mean(objs in arb_objects()) {
+        let mut grid = grid_with(&objs);
+        grid.solve();
+        let mean: f64 = grid.potential_map().iter().sum::<f64>()
+            / grid.potential_map().len() as f64;
+        let scale: f64 = grid
+            .potential_map()
+            .iter()
+            .map(|v| v.abs())
+            .fold(0.0, f64::max)
+            .max(1.0);
+        prop_assert!(mean.abs() < 1e-9 * scale, "mean {mean}");
+    }
+
+    #[test]
+    fn mirror_symmetry_negates_x_forces(objs in arb_objects()) {
+        // Reflecting the whole configuration about the vertical midline
+        // negates every x-force and preserves every y-force (the cosine
+        // eigenbasis is mirror-symmetric). Note plain force-sum-to-zero does
+        // NOT hold here: the zero-frequency removal introduces a uniform
+        // background charge that absorbs the reaction.
+        let mut g1 = grid_with(&objs);
+        g1.solve();
+        let mirrored: Vec<_> = objs
+            .iter()
+            .map(|(o, p)| (*o, Point::new(128.0 - p.x, p.y)))
+            .collect();
+        let mut g2 = grid_with(&mirrored);
+        g2.solve();
+        for ((o, p), (om, pm)) in objs.iter().zip(&mirrored) {
+            let f1 = g1.gradient(o, *p);
+            let f2 = g2.gradient(om, *pm);
+            let scale = f1.norm().max(f2.norm()).max(1e-9);
+            prop_assert!((f1.x + f2.x).abs() < 1e-6 * scale + 1e-12, "{f1} vs {f2}");
+            prop_assert!((f1.y - f2.y).abs() < 1e-6 * scale + 1e-12, "{f1} vs {f2}");
+        }
+    }
+
+    #[test]
+    fn overflow_in_unit_range(objs in arb_objects()) {
+        let grid = grid_with(&objs);
+        let tau = grid.overflow();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&tau), "tau {tau}");
+    }
+
+    #[test]
+    fn energy_is_finite_and_gradient_defined(objs in arb_objects()) {
+        let mut grid = grid_with(&objs);
+        grid.solve();
+        prop_assert!(grid.total_energy().is_finite());
+        for (o, p) in &objs {
+            let g = grid.gradient(o, *p);
+            prop_assert!(g.is_finite());
+            prop_assert!(grid.energy(o, *p).is_finite());
+        }
+    }
+
+    #[test]
+    fn overfill_consistent_with_overflow(objs in arb_objects()) {
+        let grid = grid_with(&objs);
+        let movable: f64 = objs
+            .iter()
+            .filter(|(o, _)| o.counts_in_overflow)
+            .map(|(o, _)| o.charge())
+            .sum();
+        if movable > 0.0 {
+            let tau = grid.overflow();
+            let area = grid.overfill_area();
+            prop_assert!((tau - area / movable).abs() < 1e-9, "tau {tau} area {area}");
+        }
+    }
+
+    #[test]
+    fn mirror_reflection_preserves_energy(objs in arb_objects()) {
+        // Energy is NOT translation invariant in a bounded Neumann domain
+        // (the wall images move with the configuration), but it is exactly
+        // invariant under reflection about the domain midline.
+        let mut g1 = grid_with(&objs);
+        g1.solve();
+        let e1 = g1.total_energy();
+        let mirrored: Vec<_> = objs
+            .iter()
+            .map(|(o, p)| (*o, Point::new(128.0 - p.x, p.y)))
+            .collect();
+        let mut g2 = grid_with(&mirrored);
+        g2.solve();
+        let e2 = g2.total_energy();
+        let scale = e1.abs().max(e2.abs()).max(1e-9);
+        prop_assert!((e1 - e2).abs() < 1e-6 * scale, "e1 {e1} vs e2 {e2}");
+    }
+}

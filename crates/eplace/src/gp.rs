@@ -1,0 +1,258 @@
+use crate::cost::EplaceCost;
+use crate::trace::{IterationRecord, RuntimeProfile, Stage};
+use crate::{EplaceConfig, NesterovOptimizer, PlacementProblem};
+use eplace_density::grid_dimension;
+use eplace_netlist::Design;
+
+/// Outcome of one global-placement stage (mGP, filler-only, or cGP).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpOutcome {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Final density overflow τ.
+    pub final_overflow: f64,
+    /// HPWL of the committed solution.
+    pub final_hpwl: f64,
+    /// λ at the last iteration (cGP seeds from mGP's — §VI-B).
+    pub lambda_last: f64,
+    /// Total backtracks (paper §V-C: ~1.037/iteration).
+    pub total_backtracks: usize,
+    /// Average backtracks per iteration.
+    pub backtracks_per_iteration: f64,
+    /// Runtime split for Figure 7.
+    pub profile: RuntimeProfile,
+    /// `true` when the τ target was reached before the iteration cap.
+    pub converged: bool,
+}
+
+/// Runs the Nesterov/eDensity global placement loop over `problem`,
+/// committing the solution into `design`. `lambda_init` overrides the
+/// λ₀ calibration (used by cGP's rewind `λ_mGP·1.1^{−m}`); `max_iterations`
+/// overrides the config cap (used by the 20-iteration filler-only phase).
+/// Iteration records are appended to `trace`.
+pub fn run_global_placement(
+    design: &mut Design,
+    problem: &PlacementProblem,
+    cfg: &EplaceConfig,
+    stage: Stage,
+    lambda_init: Option<f64>,
+    max_iterations: Option<usize>,
+    trace: &mut Vec<IterationRecord>,
+) -> GpOutcome {
+    let start = std::time::Instant::now();
+    let mut profile = RuntimeProfile::default();
+    if problem.is_empty() {
+        return GpOutcome {
+            iterations: 0,
+            final_overflow: 0.0,
+            final_hpwl: design.hpwl(),
+            lambda_last: lambda_init.unwrap_or(0.0),
+            total_backtracks: 0,
+            backtracks_per_iteration: 0.0,
+            profile,
+            converged: true,
+        };
+    }
+    let dim = grid_dimension(problem.len(), cfg.grid_min, cfg.grid_max);
+    let max_iters = max_iterations.unwrap_or(cfg.max_iterations);
+
+    let mut cost = EplaceCost::new(design, problem, dim, dim, cfg.enable_preconditioner);
+    let pos0 = problem.positions(design);
+    let lambda0 = cost.init_lambda(&pos0);
+    if let Some(l) = lambda_init {
+        cost.lambda = l.max(1e-3 * lambda0);
+    }
+    let perturb = 0.1 * cost.bin_width();
+    let mut optimizer = NesterovOptimizer::new(
+        pos0,
+        &mut cost,
+        cfg.epsilon,
+        cfg.max_backtracks,
+        cfg.enable_backtracking,
+        perturb,
+    );
+
+    let hpwl_init = cost.hpwl(optimizer.solution()).max(1.0);
+    let delta_ref = cfg.delta_hpwl_ref_frac * hpwl_init;
+    let mut prev_hpwl = hpwl_init;
+    let mut iterations = 0;
+    let mut converged = false;
+    // Best-solution snapshot: when the overflow stops improving (the grid's
+    // noise floor on small instances, or a diverging run), λ keeps
+    // ratcheting and wirelength degrades without bound — keep the
+    // lowest-overflow solution seen and stop after a stagnation window.
+    let mut best_pos: Vec<eplace_geometry::Point> = optimizer.solution().to_vec();
+    let mut best_overflow = f64::INFINITY;
+    let mut best_iter = 0usize;
+    let stall_window = (cfg.min_iterations * 4).max(60);
+    for iter in 0..max_iters {
+        iterations = iter + 1;
+        let info = optimizer.step(&mut cost);
+        let hpwl = cost.hpwl(optimizer.solution());
+        let overflow = cost.last_overflow;
+        trace.push(IterationRecord {
+            stage,
+            iteration: iter,
+            hpwl,
+            overflow,
+            overlap: cost.overlap_area(),
+            lambda: cost.lambda,
+            gamma: cost.gamma,
+            alpha: info.alpha,
+            backtracks: info.backtracks,
+        });
+        if overflow < best_overflow - 1e-4 {
+            best_overflow = overflow;
+            best_iter = iter;
+            best_pos.copy_from_slice(optimizer.solution());
+        }
+        cost.update_lambda(
+            hpwl - prev_hpwl,
+            delta_ref,
+            cfg.lambda_mu_min,
+            cfg.lambda_mu_max,
+        );
+        cost.update_gamma();
+        prev_hpwl = hpwl;
+        if overflow <= cfg.target_overflow && iter + 1 >= cfg.min_iterations {
+            converged = true;
+            best_pos.copy_from_slice(optimizer.solution());
+            break;
+        }
+        if iter > best_iter + stall_window {
+            break; // stagnated above the target — keep the best snapshot
+        }
+    }
+
+    let lambda_last = cost.lambda;
+    let final_overflow = if converged {
+        cost.last_overflow
+    } else {
+        best_overflow.min(cost.last_overflow)
+    };
+    let density = cost.density_time;
+    let wirelength = cost.wirelength_time;
+    drop(cost);
+    problem.apply(design, &best_pos);
+    profile.add(density, wirelength, start.elapsed());
+
+    GpOutcome {
+        iterations,
+        final_overflow,
+        final_hpwl: design.hpwl(),
+        lambda_last,
+        total_backtracks: optimizer.total_backtracks,
+        backtracks_per_iteration: optimizer.backtracks_per_step(),
+        profile,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{initial_placement, insert_fillers};
+    use eplace_benchgen::BenchmarkConfig;
+
+    fn run(scale: usize, seed: u64) -> (Design, GpOutcome, Vec<IterationRecord>) {
+        let mut d = BenchmarkConfig::ispd05_like("gp", seed).scale(scale).generate();
+        initial_placement(&mut d);
+        insert_fillers(&mut d, seed);
+        let problem = PlacementProblem::all_movables(&d);
+        let mut trace = Vec::new();
+        let cfg = EplaceConfig::fast();
+        let out = run_global_placement(
+            &mut d,
+            &problem,
+            &cfg,
+            Stage::Mgp,
+            None,
+            None,
+            &mut trace,
+        );
+        (d, out, trace)
+    }
+
+    #[test]
+    fn overflow_reaches_target() {
+        let (_, out, _) = run(300, 61);
+        assert!(
+            out.converged,
+            "mGP did not converge: tau = {}",
+            out.final_overflow
+        );
+        assert!(out.final_overflow <= 0.101);
+    }
+
+    #[test]
+    fn overflow_decreases_over_iterations() {
+        let (_, _, trace) = run(300, 62);
+        let first = trace.first().unwrap().overflow;
+        let last = trace.last().unwrap().overflow;
+        assert!(last < first, "overflow {first} -> {last}");
+        // Overlap also shrinks (Fig. 2).
+        let o_first = trace.first().unwrap().overlap;
+        let o_last = trace.last().unwrap().overlap;
+        assert!(o_last < o_first, "overlap {o_first} -> {o_last}");
+    }
+
+    #[test]
+    fn hpwl_grows_from_quadratic_optimum_but_stays_sane() {
+        // mIP is the wirelength optimum with overlap; spreading must raise
+        // HPWL, but not catastrophically.
+        let (_, _, trace) = run(300, 63);
+        let first = trace.first().unwrap().hpwl;
+        let last = trace.last().unwrap().hpwl;
+        assert!(last > 0.8 * first);
+        assert!(last < 20.0 * first, "hpwl exploded: {first} -> {last}");
+    }
+
+    #[test]
+    fn empty_problem_returns_immediately() {
+        let mut d = BenchmarkConfig::ispd05_like("gp", 64).scale(100).generate();
+        for c in d.cells.iter_mut() {
+            c.fixed = true;
+        }
+        let problem = PlacementProblem::all_movables(&d);
+        let mut trace = Vec::new();
+        let out = run_global_placement(
+            &mut d,
+            &problem,
+            &EplaceConfig::fast(),
+            Stage::Mgp,
+            None,
+            None,
+            &mut trace,
+        );
+        assert_eq!(out.iterations, 0);
+        assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let mut d = BenchmarkConfig::ispd05_like("gp", 65).scale(300).generate();
+        initial_placement(&mut d);
+        let problem = PlacementProblem::all_movables(&d);
+        let mut trace = Vec::new();
+        let out = run_global_placement(
+            &mut d,
+            &problem,
+            &EplaceConfig::fast(),
+            Stage::Mgp,
+            None,
+            Some(7),
+            &mut trace,
+        );
+        assert_eq!(out.iterations, 7);
+        assert_eq!(trace.len(), 7);
+    }
+
+    #[test]
+    fn profile_records_runtime_split() {
+        let (_, out, _) = run(200, 66);
+        assert!(out.profile.density_seconds > 0.0);
+        assert!(out.profile.wirelength_seconds > 0.0);
+        let (d_pct, w_pct, o_pct) = out.profile.percentages();
+        assert!((d_pct + w_pct + o_pct - 100.0).abs() < 1e-6);
+    }
+}

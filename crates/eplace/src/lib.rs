@@ -1,0 +1,172 @@
+//! The ePlace core — the paper's primary contribution.
+//!
+//! This crate combines the substrates ([`eplace_density`] for the
+//! electrostatic cost, [`eplace_wirelength`] for the WA surrogate,
+//! [`eplace_mlg`] and [`eplace_legalize`] for the discrete stages) into the
+//! complete flow of the paper's Figure 1:
+//!
+//! ```text
+//! mIP  — quadratic wirelength minimization (B2B + CG)           [mip]
+//! mGP  — mixed-size global placement: Nesterov + eDensity        [gp]
+//! mLG  — annealing macro legalization                    [eplace_mlg]
+//! cGP  — std-cell global placement with λ rewind                 [gp]
+//! cDP  — legalization + detail placement            [eplace_legalize]
+//! ```
+//!
+//! The optimizer is Nesterov's method (Algorithm 1) with the steplength
+//! predicted as the inverse Lipschitz constant (Eq. 10) and corrected by the
+//! backtracking of Algorithm 2 ([`NesterovOptimizer`]); the gradient is
+//! preconditioned by the approximated diagonal Hessian `|E_i| + λ·q_i`
+//! (Eq. 11–13, [`EplaceCost`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use eplace_benchgen::BenchmarkConfig;
+//! use eplace_core::{EplaceConfig, Placer};
+//!
+//! let design = BenchmarkConfig::ispd05_like("quick", 1).scale(200).generate();
+//! let mut placer = Placer::new(design, EplaceConfig::fast());
+//! let report = placer.run();
+//! assert!(report.final_hpwl > 0.0);
+//! assert!(report.final_overflow <= 0.35); // fast preset, loose bound
+//! ```
+
+mod cost;
+mod fillers;
+mod gp;
+mod mip;
+mod nesterov;
+mod placer;
+mod problem;
+mod trace;
+
+pub use cost::EplaceCost;
+pub use fillers::insert_fillers;
+pub use gp::{run_global_placement, GpOutcome};
+pub use mip::{initial_placement, quadratic_solve, Anchor, MipReport};
+pub use nesterov::{Gradient, NesterovOptimizer, StepInfo};
+pub use placer::{PlacementReport, Placer};
+pub use problem::PlacementProblem;
+pub use trace::{trace_to_csv, IterationRecord, RuntimeProfile, Stage, StageTiming};
+
+use eplace_mlg::MlgConfig;
+
+/// Configuration of the full placer. Defaults are the paper's settings;
+/// [`EplaceConfig::fast`] trades quality for speed (tests, examples, CI).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EplaceConfig {
+    /// Global-placement stopping overflow τ (paper: 0.10).
+    pub target_overflow: f64,
+    /// Iteration cap per global-placement stage (paper: 3000).
+    pub max_iterations: usize,
+    /// Minimum iterations before the overflow stop can fire (lets λ ramp).
+    pub min_iterations: usize,
+    /// Backtracking scale factor ε (Algorithm 2; paper: 0.95).
+    pub epsilon: f64,
+    /// Cap on backtracks per iteration (paper reports 1.037 average).
+    pub max_backtracks: usize,
+    /// Ablation: disable Algorithm 2 entirely (§V-C reports +43.12 % HPWL).
+    pub enable_backtracking: bool,
+    /// Ablation: disable the `|E_i| + λq_i` preconditioner (§V-D reports
+    /// failures and +24.63 % HPWL).
+    pub enable_preconditioner: bool,
+    /// Ablation: disable the 20-iteration filler-only placement before cGP
+    /// (§VI-B reports +6.53 % HPWL).
+    pub enable_filler_phase: bool,
+    /// Iterations of the filler-only phase (paper: 20).
+    pub filler_phase_iterations: usize,
+    /// Density-grid dimension clamp (power-of-two, per [`eplace_density::grid_dimension`]).
+    pub grid_min: usize,
+    /// Upper clamp of the grid dimension.
+    pub grid_max: usize,
+    /// Macro-legalizer settings.
+    pub mlg: MlgConfig,
+    /// Detail-placement refinement passes in cDP.
+    pub detail_passes: usize,
+    /// Use the Abacus (cluster-optimal) legalizer for cDP instead of
+    /// Tetris; NTUplace3's detail placer (the paper's cDP) is of the
+    /// minimal-displacement family, which Abacus represents better.
+    pub use_abacus: bool,
+    /// Seed for filler scattering (and anything else stochastic outside mLG).
+    pub seed: u64,
+    /// λ multiplier upper bound per iteration (paper: 1.1).
+    pub lambda_mu_max: f64,
+    /// λ multiplier lower bound (0.75).
+    pub lambda_mu_min: f64,
+    /// ΔHPWL reference for the μ rule, as a fraction of the stage-initial
+    /// HPWL. The C implementation hardcodes 3.5e5 absolute; the reference
+    /// must sit well above the per-iteration HPWL noise so that μ stays
+    /// near its 1.1 ceiling on quiet iterations and only dips on real
+    /// degradations — 3 % of the initial HPWL reproduces that regime on
+    /// the reduced-scale benchmarks.
+    pub delta_hpwl_ref_frac: f64,
+}
+
+impl Default for EplaceConfig {
+    fn default() -> Self {
+        EplaceConfig {
+            target_overflow: 0.10,
+            max_iterations: 3000,
+            min_iterations: 30,
+            epsilon: 0.95,
+            max_backtracks: 10,
+            enable_backtracking: true,
+            enable_preconditioner: true,
+            enable_filler_phase: true,
+            filler_phase_iterations: 20,
+            grid_min: 16,
+            grid_max: 1024,
+            mlg: MlgConfig::default(),
+            detail_passes: 2,
+            use_abacus: true,
+            seed: 0x5EED,
+            lambda_mu_max: 1.1,
+            lambda_mu_min: 0.75,
+            delta_hpwl_ref_frac: 0.03,
+        }
+    }
+}
+
+impl EplaceConfig {
+    /// A reduced-effort preset for tests and examples: smaller grids, fewer
+    /// iterations, lighter annealing.
+    pub fn fast() -> Self {
+        EplaceConfig {
+            max_iterations: 500,
+            min_iterations: 15,
+            grid_max: 128,
+            detail_passes: 1,
+            mlg: MlgConfig {
+                sa_iterations_per_macro: 150,
+                max_outer_iterations: 16,
+                ..MlgConfig::default()
+            },
+            ..EplaceConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = EplaceConfig::default();
+        assert_eq!(c.target_overflow, 0.10);
+        assert_eq!(c.max_iterations, 3000);
+        assert_eq!(c.epsilon, 0.95);
+        assert!(c.enable_backtracking && c.enable_preconditioner && c.enable_filler_phase);
+        assert_eq!(c.filler_phase_iterations, 20);
+        assert_eq!(c.lambda_mu_max, 1.1);
+    }
+
+    #[test]
+    fn fast_is_lighter() {
+        let f = EplaceConfig::fast();
+        let d = EplaceConfig::default();
+        assert!(f.max_iterations < d.max_iterations);
+        assert!(f.grid_max < d.grid_max);
+    }
+}

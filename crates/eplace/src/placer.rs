@@ -1,0 +1,355 @@
+use crate::trace::{IterationRecord, RuntimeProfile, Stage, StageTiming};
+use crate::{
+    initial_placement, insert_fillers, run_global_placement, EplaceConfig, MipReport,
+    PlacementProblem,
+};
+use eplace_legalize::{detail_place, legalize, legalize_abacus, LegalizeReport};
+use eplace_mlg::{legalize_macros, MlgReport};
+use eplace_netlist::{CellKind, Design};
+use std::time::Instant;
+
+/// Everything a run of the flow produced — the raw material for every
+/// table and figure reproduction.
+#[derive(Debug, Clone)]
+pub struct PlacementReport {
+    /// HPWL after cDP (the tables' metric).
+    pub final_hpwl: f64,
+    /// Scaled HPWL `HPWL·(1 + 0.01·τ_avg)` per the ISPD-2006 protocol,
+    /// with `τ_avg` the percentage density overflow at the final layout.
+    pub scaled_hpwl: f64,
+    /// Final density overflow τ (fraction).
+    pub final_overflow: f64,
+    /// mIP outcome.
+    pub mip: MipReport,
+    /// mGP iterations executed.
+    pub mgp_iterations: usize,
+    /// mGP backtracks per iteration (paper: 1.037 avg on MMS).
+    pub mgp_backtracks_per_iteration: f64,
+    /// Whether mGP reached the overflow target.
+    pub mgp_converged: bool,
+    /// mLG outcome (`None` for std-cell-only designs, where mLG/cGP are
+    /// disabled per §VII).
+    pub mlg: Option<MlgReport>,
+    /// cGP iterations (0 for std-cell-only designs).
+    pub cgp_iterations: usize,
+    /// Legalization outcome (`None` if legalization failed).
+    pub legalization: Option<LegalizeReport>,
+    /// Error string when legalization failed.
+    pub legalization_error: Option<String>,
+    /// HPWL improvement from detail placement.
+    pub detail_gain: f64,
+    /// Wall-clock per stage (Figure 7 outer ring).
+    pub stage_timings: Vec<StageTiming>,
+    /// mGP-internal runtime split (Figure 7 inner ring).
+    pub mgp_profile: RuntimeProfile,
+    /// Per-iteration records across all stages (Figures 2/3/6).
+    pub trace: Vec<IterationRecord>,
+}
+
+impl PlacementReport {
+    /// Seconds spent in `stage` (0 when the stage did not run).
+    pub fn stage_seconds(&self, stage: Stage) -> f64 {
+        self.stage_timings
+            .iter()
+            .filter(|t| t.stage == stage)
+            .map(|t| t.seconds)
+            .sum()
+    }
+
+    /// Total flow wall-clock.
+    pub fn total_seconds(&self) -> f64 {
+        self.stage_timings.iter().map(|t| t.seconds).sum()
+    }
+}
+
+/// The full ePlace flow driver (paper Figure 1): mIP → mGP → (mLG → cGP,
+/// mixed-size only) → cDP.
+///
+/// # Examples
+///
+/// ```
+/// use eplace_benchgen::BenchmarkConfig;
+/// use eplace_core::{EplaceConfig, Placer};
+///
+/// let design = BenchmarkConfig::ispd05_like("demo", 2).scale(200).generate();
+/// let mut placer = Placer::new(design, EplaceConfig::fast());
+/// let report = placer.run();
+/// println!("final HPWL: {:.4e}", report.final_hpwl);
+/// ```
+#[derive(Debug)]
+pub struct Placer {
+    design: Design,
+    config: EplaceConfig,
+}
+
+impl Placer {
+    /// Wraps a design with a configuration.
+    pub fn new(design: Design, config: EplaceConfig) -> Self {
+        Placer { design, config }
+    }
+
+    /// The (current) design; after [`Placer::run`], positions are final.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// Consumes the placer, returning the design.
+    pub fn into_design(self) -> Design {
+        self.design
+    }
+
+    /// Executes the flow and returns the report.
+    pub fn run(&mut self) -> PlacementReport {
+        let cfg = self.config.clone();
+        let design = &mut self.design;
+        let mut trace = Vec::new();
+        let mut timings = Vec::new();
+
+        // --- mIP -----------------------------------------------------------
+        let t = Instant::now();
+        let mip = initial_placement(design);
+        timings.push(StageTiming {
+            stage: Stage::Mip,
+            seconds: t.elapsed().as_secs_f64(),
+        });
+
+        // --- mGP -----------------------------------------------------------
+        let t = Instant::now();
+        design.remove_fillers();
+        insert_fillers(design, cfg.seed);
+        let problem = PlacementProblem::all_movables(design);
+        let mgp = run_global_placement(
+            design,
+            &problem,
+            &cfg,
+            Stage::Mgp,
+            None,
+            None,
+            &mut trace,
+        );
+        design.remove_fillers();
+        timings.push(StageTiming {
+            stage: Stage::Mgp,
+            seconds: t.elapsed().as_secs_f64(),
+        });
+
+        // --- mLG + cGP (mixed-size only, §VII) ------------------------------
+        let has_movable_macros = design
+            .cells
+            .iter()
+            .any(|c| c.kind == CellKind::Macro && c.is_movable());
+        let mut mlg_report = None;
+        let mut cgp_iterations = 0;
+        if has_movable_macros {
+            // mLG: fix std cells, anneal macros, fix macros.
+            let t = Instant::now();
+            let mut unfixed_std: Vec<usize> = Vec::new();
+            for (i, c) in design.cells.iter_mut().enumerate() {
+                if c.kind == CellKind::StdCell && !c.fixed {
+                    c.fixed = true;
+                    unfixed_std.push(i);
+                }
+            }
+            mlg_report = Some(legalize_macros(design, &cfg.mlg));
+            for &i in &unfixed_std {
+                design.cells[i].fixed = false;
+            }
+            timings.push(StageTiming {
+                stage: Stage::Mlg,
+                seconds: t.elapsed().as_secs_f64(),
+            });
+
+            // Filler-only relocation (§VI-B), then cGP.
+            let t = Instant::now();
+            insert_fillers(design, cfg.seed.wrapping_add(1));
+            if cfg.enable_filler_phase {
+                let fillers = PlacementProblem::fillers_only(design);
+                run_global_placement(
+                    design,
+                    &fillers,
+                    &cfg,
+                    Stage::FillerOnly,
+                    None,
+                    Some(cfg.filler_phase_iterations),
+                    &mut trace,
+                );
+            }
+            timings.push(StageTiming {
+                stage: Stage::FillerOnly,
+                seconds: t.elapsed().as_secs_f64(),
+            });
+
+            let t = Instant::now();
+            let problem = PlacementProblem::all_movables(design);
+            // λ rewind: m buffering iterations to recover mGP's
+            // aggressiveness (§VI-B), m = mGP iterations / 10.
+            let m = (mgp.iterations / 10) as i32;
+            let lambda_init = mgp.lambda_last * cfg.lambda_mu_max.powi(-m);
+            let cgp = run_global_placement(
+                design,
+                &problem,
+                &cfg,
+                Stage::Cgp,
+                Some(lambda_init),
+                None,
+                &mut trace,
+            );
+            cgp_iterations = cgp.iterations;
+            design.remove_fillers();
+            timings.push(StageTiming {
+                stage: Stage::Cgp,
+                seconds: t.elapsed().as_secs_f64(),
+            });
+        }
+
+        // --- cDP -------------------------------------------------------------
+        let t = Instant::now();
+        // Abacus is the quality choice; Tetris is the fallback when its
+        // greedy segment selection runs out of room.
+        let attempt = if cfg.use_abacus {
+            legalize_abacus(design).or_else(|_| legalize(design))
+        } else {
+            legalize(design)
+        };
+        let (legal, legal_err) = match attempt {
+            Ok(r) => (Some(r), None),
+            Err(e) => (None, Some(e.to_string())),
+        };
+        let detail_gain = if legal.is_some() {
+            // In-row refinement, then the cross-row global-swap pass.
+            detail_place(design, cfg.detail_passes)
+                + eplace_legalize::global_swap(design, cfg.detail_passes)
+                + detail_place(design, 1)
+        } else {
+            0.0
+        };
+        timings.push(StageTiming {
+            stage: Stage::Cdp,
+            seconds: t.elapsed().as_secs_f64(),
+        });
+
+        // --- Final scoring ----------------------------------------------------
+        let final_hpwl = design.hpwl();
+        let final_overflow = final_overflow_of(design, &cfg);
+        let scaled_hpwl = final_hpwl * (1.0 + 0.01 * (final_overflow * 100.0));
+
+        PlacementReport {
+            final_hpwl,
+            scaled_hpwl,
+            final_overflow,
+            mip,
+            mgp_iterations: mgp.iterations,
+            mgp_backtracks_per_iteration: mgp.backtracks_per_iteration,
+            mgp_converged: mgp.converged,
+            mlg: mlg_report,
+            cgp_iterations,
+            legalization: legal,
+            legalization_error: legal_err,
+            detail_gain,
+            stage_timings: timings,
+            mgp_profile: mgp.profile,
+            trace,
+        }
+    }
+}
+
+/// Density overflow of the final (filler-free) layout, measured on the same
+/// grid policy as global placement.
+fn final_overflow_of(design: &Design, cfg: &EplaceConfig) -> f64 {
+    use eplace_density::{grid_dimension, DensityGrid, DensityObject};
+    let movables: Vec<usize> = design.movable_indices().collect();
+    if movables.is_empty() {
+        return 0.0;
+    }
+    let dim = grid_dimension(movables.len(), cfg.grid_min, cfg.grid_max);
+    let mut grid = DensityGrid::new(design.region, dim, dim, design.target_density);
+    for c in design.cells.iter().filter(|c| c.fixed) {
+        grid.add_fixed(c.rect());
+    }
+    let objects: Vec<DensityObject> = movables
+        .iter()
+        .map(|&i| DensityObject::movable(design.cells[i].size))
+        .collect();
+    let pos: Vec<_> = movables.iter().map(|&i| design.cells[i].pos).collect();
+    grid.deposit(&objects, &pos);
+    grid.overflow()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eplace_benchgen::BenchmarkConfig;
+    use eplace_legalize::check_legal;
+
+    #[test]
+    fn stdcell_flow_end_to_end() {
+        let design = BenchmarkConfig::ispd05_like("flow", 71).scale(250).generate();
+        let mut placer = Placer::new(design, EplaceConfig::fast());
+        let report = placer.run();
+        assert!(report.mgp_converged, "tau={}", report.final_overflow);
+        assert!(report.mlg.is_none(), "std-cell suite must skip mLG");
+        assert_eq!(report.cgp_iterations, 0);
+        assert!(report.legalization.is_some(), "{:?}", report.legalization_error);
+        assert!(check_legal(placer.design()).is_ok());
+        assert!(report.final_hpwl > 0.0);
+        assert!(report.detail_gain >= 0.0);
+    }
+
+    #[test]
+    fn mixed_size_flow_end_to_end() {
+        let design = BenchmarkConfig::mms_like("flowm", 72, 1.0, 5).scale(250).generate();
+        let mut placer = Placer::new(design, EplaceConfig::fast());
+        let report = placer.run();
+        let mlg = report.mlg.as_ref().expect("mixed-size flow runs mLG");
+        assert!(mlg.legalized, "macro overlap {}", mlg.macro_overlap_after);
+        assert!(report.cgp_iterations > 0);
+        assert!(report.legalization.is_some(), "{:?}", report.legalization_error);
+        assert!(check_legal(placer.design()).is_ok(), "{:?}", check_legal(placer.design()));
+        // Macros end up fixed and non-overlapping.
+        for c in placer.design().cells.iter() {
+            if c.kind == CellKind::Macro {
+                assert!(c.fixed);
+            }
+        }
+    }
+
+    #[test]
+    fn stage_timings_cover_flow() {
+        let design = BenchmarkConfig::ispd05_like("flow", 73).scale(200).generate();
+        let mut placer = Placer::new(design, EplaceConfig::fast());
+        let report = placer.run();
+        assert!(report.stage_seconds(Stage::Mip) > 0.0);
+        assert!(report.stage_seconds(Stage::Mgp) > 0.0);
+        assert!(report.stage_seconds(Stage::Cdp) > 0.0);
+        assert!(report.total_seconds() >= report.stage_seconds(Stage::Mgp));
+    }
+
+    #[test]
+    fn trace_spans_stages_for_mixed_flow() {
+        let design = BenchmarkConfig::mms_like("flowt", 74, 1.0, 4).scale(200).generate();
+        let mut placer = Placer::new(design, EplaceConfig::fast());
+        let report = placer.run();
+        let stages: std::collections::HashSet<_> =
+            report.trace.iter().map(|r| r.stage).collect();
+        assert!(stages.contains(&Stage::Mgp));
+        assert!(stages.contains(&Stage::FillerOnly));
+        assert!(stages.contains(&Stage::Cgp));
+    }
+
+    #[test]
+    fn scaled_hpwl_at_least_hpwl() {
+        let design = BenchmarkConfig::ispd06_like("flow6", 75, 0.8).scale(250).generate();
+        let mut placer = Placer::new(design, EplaceConfig::fast());
+        let report = placer.run();
+        assert!(report.scaled_hpwl >= report.final_hpwl);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let mk = || {
+            let design = BenchmarkConfig::ispd05_like("det", 76).scale(200).generate();
+            Placer::new(design, EplaceConfig::fast()).run().final_hpwl
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -1,0 +1,107 @@
+//! Geometric primitives shared by every crate in the ePlace reproduction.
+//!
+//! Placement works on a continuous two-dimensional plane measured in layout
+//! units (the Bookshelf benchmarks use integer site units, but global
+//! placement moves cells continuously, so everything here is `f64`).
+//!
+//! The crate provides three value types — [`Point`], [`Size`] and [`Rect`] —
+//! plus the overlap arithmetic (`Rect::overlap_area`) that the density and
+//! legalization crates are built on.
+//!
+//! # Examples
+//!
+//! ```
+//! use eplace_geometry::{Point, Rect};
+//!
+//! let a = Rect::new(0.0, 0.0, 4.0, 4.0);
+//! let b = Rect::from_center(Point::new(4.0, 4.0), 4.0, 4.0);
+//! assert_eq!(a.overlap_area(&b), 4.0);
+//! ```
+
+mod point;
+mod rect;
+
+pub use point::{Point, Size};
+pub use rect::Rect;
+
+/// Clamps `value` into the inclusive interval `[lo, hi]`.
+///
+/// Unlike [`f64::clamp`] this never panics: if `lo > hi` (an empty
+/// interval, which can happen when a macro is wider than the placement
+/// region) the midpoint of the inverted interval is returned.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(eplace_geometry::clamp(5.0, 0.0, 2.0), 2.0);
+/// assert_eq!(eplace_geometry::clamp(5.0, 3.0, 1.0), 2.0); // inverted
+/// ```
+#[inline]
+pub fn clamp(value: f64, lo: f64, hi: f64) -> f64 {
+    if lo > hi {
+        return 0.5 * (lo + hi);
+    }
+    value.max(lo).min(hi)
+}
+
+/// Returns the length of the overlap of two 1-D closed intervals
+/// `[a_lo, a_hi]` and `[b_lo, b_hi]`, or `0.0` when they are disjoint.
+///
+/// This is the scalar kernel behind [`Rect::overlap_area`] and the
+/// bin-density accumulation in the density crate.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(eplace_geometry::overlap_1d(0.0, 4.0, 2.0, 6.0), 2.0);
+/// assert_eq!(eplace_geometry::overlap_1d(0.0, 1.0, 2.0, 3.0), 0.0);
+/// ```
+#[inline]
+pub fn overlap_1d(a_lo: f64, a_hi: f64, b_lo: f64, b_hi: f64) -> f64 {
+    let lo = a_lo.max(b_lo);
+    let hi = a_hi.min(b_hi);
+    (hi - lo).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamp_within_bounds() {
+        assert_eq!(clamp(1.0, 0.0, 2.0), 1.0);
+    }
+
+    #[test]
+    fn clamp_below() {
+        assert_eq!(clamp(-1.0, 0.0, 2.0), 0.0);
+    }
+
+    #[test]
+    fn clamp_above() {
+        assert_eq!(clamp(3.0, 0.0, 2.0), 2.0);
+    }
+
+    #[test]
+    fn clamp_inverted_interval_returns_midpoint() {
+        assert_eq!(clamp(10.0, 4.0, 2.0), 3.0);
+    }
+
+    #[test]
+    fn overlap_1d_identical() {
+        assert_eq!(overlap_1d(1.0, 3.0, 1.0, 3.0), 2.0);
+    }
+
+    #[test]
+    fn overlap_1d_touching_is_zero() {
+        assert_eq!(overlap_1d(0.0, 1.0, 1.0, 2.0), 0.0);
+    }
+
+    #[test]
+    fn overlap_1d_contained() {
+        assert_eq!(overlap_1d(0.0, 10.0, 2.0, 3.0), 1.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests;

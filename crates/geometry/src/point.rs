@@ -1,0 +1,258 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// A point (or displacement vector) on the placement plane.
+///
+/// # Examples
+///
+/// ```
+/// use eplace_geometry::Point;
+///
+/// let p = Point::new(1.0, 2.0) + Point::new(3.0, -2.0);
+/// assert_eq!(p, Point::new(4.0, 0.0));
+/// assert_eq!(p.norm(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean length of the vector from the origin to this point.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Squared Euclidean length; cheaper than [`Point::norm`] when only
+    /// comparisons are needed.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(self, other: Point) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Manhattan (L1) distance to `other` — the metric HPWL is built on.
+    #[inline]
+    pub fn manhattan_distance(self, other: Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Dot product with `other`.
+    #[inline]
+    pub fn dot(self, other: Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Returns `true` when both coordinates are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Point {
+    #[inline]
+    fn add_assign(&mut self, rhs: Point) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Point {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Point) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Mul<Point> for f64 {
+    type Output = Point;
+    #[inline]
+    fn mul(self, rhs: Point) -> Point {
+        rhs * self
+    }
+}
+
+impl Neg for Point {
+    type Output = Point;
+    #[inline]
+    fn neg(self) -> Point {
+        Point::new(-self.x, -self.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+/// A width/height pair, used for cell and bin dimensions.
+///
+/// # Examples
+///
+/// ```
+/// use eplace_geometry::Size;
+///
+/// let s = Size::new(3.0, 2.0);
+/// assert_eq!(s.area(), 6.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Size {
+    /// Horizontal extent.
+    pub width: f64,
+    /// Vertical extent.
+    pub height: f64,
+}
+
+impl Size {
+    /// Creates a size from width and height.
+    #[inline]
+    pub const fn new(width: f64, height: f64) -> Self {
+        Size { width, height }
+    }
+
+    /// A square size with the given side length.
+    #[inline]
+    pub const fn square(side: f64) -> Self {
+        Size {
+            width: side,
+            height: side,
+        }
+    }
+
+    /// Area (`width × height`).
+    #[inline]
+    pub fn area(self) -> f64 {
+        self.width * self.height
+    }
+
+    /// Half of the width/height as a displacement — handy for converting
+    /// between center and lower-left representations.
+    #[inline]
+    pub fn half(self) -> Point {
+        Point::new(0.5 * self.width, 0.5 * self.height)
+    }
+}
+
+impl fmt::Display for Size {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.width, self.height)
+    }
+}
+
+impl From<(f64, f64)> for Size {
+    #[inline]
+    fn from((width, height): (f64, f64)) -> Self {
+        Size::new(width, height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_arithmetic() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a + b, Point::new(4.0, 6.0));
+        assert_eq!(b - a, Point::new(2.0, 2.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+        assert_eq!(2.0 * a, Point::new(2.0, 4.0));
+        assert_eq!(-a, Point::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn point_assign_ops() {
+        let mut p = Point::new(1.0, 1.0);
+        p += Point::new(2.0, 3.0);
+        assert_eq!(p, Point::new(3.0, 4.0));
+        p -= Point::new(3.0, 4.0);
+        assert_eq!(p, Point::ORIGIN);
+    }
+
+    #[test]
+    fn norms_and_distances() {
+        let p = Point::new(3.0, 4.0);
+        assert_eq!(p.norm(), 5.0);
+        assert_eq!(p.norm_sq(), 25.0);
+        assert_eq!(p.distance(Point::ORIGIN), 5.0);
+        assert_eq!(p.manhattan_distance(Point::ORIGIN), 7.0);
+        assert_eq!(p.dot(Point::new(1.0, 1.0)), 7.0);
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 0.0).is_finite());
+        assert!(!Point::new(0.0, f64::INFINITY).is_finite());
+    }
+
+    #[test]
+    fn size_area_and_half() {
+        let s = Size::new(4.0, 6.0);
+        assert_eq!(s.area(), 24.0);
+        assert_eq!(s.half(), Point::new(2.0, 3.0));
+        assert_eq!(Size::square(5.0).area(), 25.0);
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        let p: Point = (1.0, 2.0).into();
+        assert_eq!(p.to_string(), "(1, 2)");
+        let s: Size = (3.0, 4.0).into();
+        assert_eq!(s.to_string(), "3x4");
+    }
+}

@@ -1,0 +1,294 @@
+use crate::{overlap_1d, Point, Size};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An axis-aligned rectangle, stored as lower-left corner plus upper-right
+/// corner. Used for cell outlines, the placement region and density bins.
+///
+/// The representation is closed on the lower-left edge and open on the
+/// upper-right edge for containment queries, which matches row/site
+/// semantics in Bookshelf layouts.
+///
+/// # Examples
+///
+/// ```
+/// use eplace_geometry::{Point, Rect};
+///
+/// let r = Rect::new(0.0, 0.0, 10.0, 5.0);
+/// assert_eq!(r.area(), 50.0);
+/// assert_eq!(r.center(), Point::new(5.0, 2.5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Rect {
+    /// Lower-left x.
+    pub xl: f64,
+    /// Lower-left y.
+    pub yl: f64,
+    /// Upper-right x.
+    pub xh: f64,
+    /// Upper-right y.
+    pub yh: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its lower-left `(xl, yl)` and upper-right
+    /// `(xh, yh)` corners.
+    ///
+    /// Degenerate rectangles (`xl > xh`) are permitted and behave as empty.
+    #[inline]
+    pub const fn new(xl: f64, yl: f64, xh: f64, yh: f64) -> Self {
+        Rect { xl, yl, xh, yh }
+    }
+
+    /// Creates a rectangle of the given `width × height` centered at `center`.
+    #[inline]
+    pub fn from_center(center: Point, width: f64, height: f64) -> Self {
+        Rect {
+            xl: center.x - 0.5 * width,
+            yl: center.y - 0.5 * height,
+            xh: center.x + 0.5 * width,
+            yh: center.y + 0.5 * height,
+        }
+    }
+
+    /// Creates a rectangle from a lower-left corner and a [`Size`].
+    #[inline]
+    pub fn from_corner_size(corner: Point, size: Size) -> Self {
+        Rect {
+            xl: corner.x,
+            yl: corner.y,
+            xh: corner.x + size.width,
+            yh: corner.y + size.height,
+        }
+    }
+
+    /// Width of the rectangle (may be negative for degenerate rectangles).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.xh - self.xl
+    }
+
+    /// Height of the rectangle (may be negative for degenerate rectangles).
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.yh - self.yl
+    }
+
+    /// Size of the rectangle.
+    #[inline]
+    pub fn size(&self) -> Size {
+        Size::new(self.width(), self.height())
+    }
+
+    /// Area; zero for degenerate rectangles.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        (self.width().max(0.0)) * (self.height().max(0.0))
+    }
+
+    /// Center point.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(0.5 * (self.xl + self.xh), 0.5 * (self.yl + self.yh))
+    }
+
+    /// Lower-left corner.
+    #[inline]
+    pub fn lower_left(&self) -> Point {
+        Point::new(self.xl, self.yl)
+    }
+
+    /// Upper-right corner.
+    #[inline]
+    pub fn upper_right(&self) -> Point {
+        Point::new(self.xh, self.yh)
+    }
+
+    /// Returns `true` when `p` lies inside the rectangle (closed lower-left,
+    /// open upper-right).
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.xl && p.x < self.xh && p.y >= self.yl && p.y < self.yh
+    }
+
+    /// Returns `true` when `other` lies fully inside `self` (closed
+    /// comparison on all four edges).
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.xl >= self.xl && other.xh <= self.xh && other.yl >= self.yl && other.yh <= self.yh
+    }
+
+    /// Returns `true` when the interiors of the two rectangles intersect.
+    /// Rectangles that merely touch along an edge do **not** intersect.
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.xl < other.xh && other.xl < self.xh && self.yl < other.yh && other.yl < self.yh
+    }
+
+    /// Area of the intersection of the two rectangles; `0.0` when disjoint.
+    ///
+    /// This is the kernel of both the density accumulation (charge of a cell
+    /// deposited into a bin) and the overlap metrics `O`/`O_m`/`D` reported
+    /// in the paper's Figures 2, 5 and 6.
+    #[inline]
+    pub fn overlap_area(&self, other: &Rect) -> f64 {
+        overlap_1d(self.xl, self.xh, other.xl, other.xh)
+            * overlap_1d(self.yl, self.yh, other.yl, other.yh)
+    }
+
+    /// The intersection rectangle, or `None` when the interiors are disjoint.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Rect::new(
+            self.xl.max(other.xl),
+            self.yl.max(other.yl),
+            self.xh.min(other.xh),
+            self.yh.min(other.yh),
+        ))
+    }
+
+    /// The smallest rectangle containing both inputs.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect::new(
+            self.xl.min(other.xl),
+            self.yl.min(other.yl),
+            self.xh.max(other.xh),
+            self.yh.max(other.yh),
+        )
+    }
+
+    /// Translates the rectangle by the displacement `d`.
+    #[inline]
+    pub fn translated(&self, d: Point) -> Rect {
+        Rect::new(self.xl + d.x, self.yl + d.y, self.xh + d.x, self.yh + d.y)
+    }
+
+    /// Grows the rectangle by `margin` on every side (shrinks when negative).
+    #[inline]
+    pub fn inflated(&self, margin: f64) -> Rect {
+        Rect::new(
+            self.xl - margin,
+            self.yl - margin,
+            self.xh + margin,
+            self.yh + margin,
+        )
+    }
+
+    /// Clamps a *center point* of a `width × height` object so the object
+    /// stays fully inside this rectangle — the Neumann-boundary projection
+    /// used every optimizer iteration.
+    pub fn clamp_center(&self, center: Point, width: f64, height: f64) -> Point {
+        Point::new(
+            crate::clamp(center.x, self.xl + 0.5 * width, self.xh - 0.5 * width),
+            crate::clamp(center.y, self.yl + 0.5 * height, self.yh - 0.5 * height),
+        )
+    }
+
+    /// Returns `true` when the rectangle has positive width and height.
+    #[inline]
+    pub fn is_valid(&self) -> bool {
+        self.xh > self.xl && self.yh > self.yl
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]x[{}, {}]", self.xl, self.xh, self.yl, self.yh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> Rect {
+        Rect::new(0.0, 0.0, 1.0, 1.0)
+    }
+
+    #[test]
+    fn construction_equivalence() {
+        let a = Rect::from_center(Point::new(0.5, 0.5), 1.0, 1.0);
+        let b = Rect::from_corner_size(Point::ORIGIN, Size::square(1.0));
+        assert_eq!(a, unit());
+        assert_eq!(b, unit());
+    }
+
+    #[test]
+    fn dimensions() {
+        let r = Rect::new(1.0, 2.0, 4.0, 8.0);
+        assert_eq!(r.width(), 3.0);
+        assert_eq!(r.height(), 6.0);
+        assert_eq!(r.area(), 18.0);
+        assert_eq!(r.center(), Point::new(2.5, 5.0));
+        assert_eq!(r.size(), Size::new(3.0, 6.0));
+    }
+
+    #[test]
+    fn degenerate_area_is_zero() {
+        assert_eq!(Rect::new(2.0, 0.0, 1.0, 1.0).area(), 0.0);
+        assert!(!Rect::new(2.0, 0.0, 1.0, 1.0).is_valid());
+    }
+
+    #[test]
+    fn containment_half_open() {
+        let r = unit();
+        assert!(r.contains(Point::ORIGIN));
+        assert!(!r.contains(Point::new(1.0, 1.0)));
+        assert!(r.contains(Point::new(0.5, 0.999)));
+    }
+
+    #[test]
+    fn contains_rect_closed() {
+        assert!(unit().contains_rect(&unit()));
+        assert!(unit().contains_rect(&Rect::new(0.25, 0.25, 0.75, 0.75)));
+        assert!(!unit().contains_rect(&Rect::new(0.5, 0.5, 1.5, 0.75)));
+    }
+
+    #[test]
+    fn intersection_and_overlap() {
+        let a = Rect::new(0.0, 0.0, 4.0, 4.0);
+        let b = Rect::new(2.0, 2.0, 6.0, 6.0);
+        assert!(a.intersects(&b));
+        assert_eq!(a.overlap_area(&b), 4.0);
+        assert_eq!(a.intersection(&b), Some(Rect::new(2.0, 2.0, 4.0, 4.0)));
+    }
+
+    #[test]
+    fn touching_edges_do_not_intersect() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new(1.0, 0.0, 2.0, 1.0);
+        assert!(!a.intersects(&b));
+        assert_eq!(a.overlap_area(&b), 0.0);
+        assert_eq!(a.intersection(&b), None);
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new(2.0, -1.0, 3.0, 0.5);
+        let u = a.union(&b);
+        assert!(u.contains_rect(&a));
+        assert!(u.contains_rect(&b));
+        assert_eq!(u, Rect::new(0.0, -1.0, 3.0, 1.0));
+    }
+
+    #[test]
+    fn translate_and_inflate() {
+        let r = unit().translated(Point::new(2.0, 3.0));
+        assert_eq!(r, Rect::new(2.0, 3.0, 3.0, 4.0));
+        let g = unit().inflated(1.0);
+        assert_eq!(g, Rect::new(-1.0, -1.0, 2.0, 2.0));
+    }
+
+    #[test]
+    fn clamp_center_keeps_object_inside() {
+        let region = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let c = region.clamp_center(Point::new(-5.0, 20.0), 2.0, 4.0);
+        assert_eq!(c, Point::new(1.0, 8.0));
+        // An object wider than the region centers on the midline.
+        let c = region.clamp_center(Point::new(0.0, 5.0), 20.0, 2.0);
+        assert_eq!(c.x, 5.0);
+    }
+}

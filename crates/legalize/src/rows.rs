@@ -1,0 +1,311 @@
+use eplace_geometry::Rect;
+use eplace_netlist::{CellKind, Design};
+
+/// A maximal obstacle-free interval of one row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FreeSegment {
+    /// Left edge.
+    pub xl: f64,
+    /// Right edge.
+    pub xh: f64,
+    /// Filled frontier: cells are packed left to right, `cursor` is the
+    /// leftmost still-free x.
+    pub cursor: f64,
+}
+
+impl FreeSegment {
+    /// Remaining capacity of the segment.
+    #[inline]
+    pub fn remaining(&self) -> f64 {
+        self.xh - self.cursor
+    }
+}
+
+/// The row structure with fixed obstacles carved out — the workspace of the
+/// Tetris legalizer.
+///
+/// # Examples
+///
+/// ```
+/// use eplace_benchgen::BenchmarkConfig;
+/// use eplace_legalize::RowMap;
+///
+/// let design = BenchmarkConfig::ispd05_like("d", 2).scale(200).generate();
+/// let map = RowMap::build(&design);
+/// assert!(map.row_count() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RowMap {
+    /// Per row: bottom y, height, site width, free segments sorted by x.
+    rows: Vec<RowEntry>,
+}
+
+#[derive(Debug, Clone)]
+struct RowEntry {
+    y: f64,
+    height: f64,
+    site_width: f64,
+    segments: Vec<FreeSegment>,
+}
+
+impl RowMap {
+    /// Builds the map from `design`'s rows, carving out every fixed cell
+    /// (terminals and fixed macros) that intersects a row.
+    pub fn build(design: &Design) -> Self {
+        let obstacles: Vec<Rect> = design
+            .cells
+            .iter()
+            .filter(|c| c.fixed || (c.kind == CellKind::Macro))
+            .map(|c| c.rect())
+            .collect();
+        let rows = design
+            .rows
+            .iter()
+            .map(|row| {
+                let row_rect = row.rect();
+                let mut cuts: Vec<(f64, f64)> = obstacles
+                    .iter()
+                    .filter(|o| o.intersects(&row_rect))
+                    .map(|o| (o.xl.max(row.x), o.xh.min(row.x + row.width)))
+                    .collect();
+                cuts.sort_by(|a, b| a.0.total_cmp(&b.0));
+                let mut segments = Vec::new();
+                let mut x = row.x;
+                for (cl, ch) in cuts {
+                    if cl > x {
+                        segments.push(FreeSegment {
+                            xl: x,
+                            xh: cl,
+                            cursor: x,
+                        });
+                    }
+                    x = x.max(ch);
+                }
+                let end = row.x + row.width;
+                if end > x {
+                    segments.push(FreeSegment {
+                        xl: x,
+                        xh: end,
+                        cursor: x,
+                    });
+                }
+                RowEntry {
+                    y: row.y,
+                    height: row.height,
+                    site_width: row.site_width,
+                    segments,
+                }
+            })
+            .collect();
+        RowMap { rows }
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Bottom y of row `r`.
+    pub fn row_y(&self, r: usize) -> f64 {
+        self.rows[r].y
+    }
+
+    /// Height of row `r`.
+    pub fn row_height(&self, r: usize) -> f64 {
+        self.rows[r].height
+    }
+
+    /// Total free capacity of row `r`.
+    pub fn row_remaining(&self, r: usize) -> f64 {
+        self.rows[r].segments.iter().map(FreeSegment::remaining).sum()
+    }
+
+    /// The `(xl, xh)` extents of row `r`'s obstacle-free segments (as built,
+    /// ignoring any cursor state) — the geometry the Abacus legalizer packs
+    /// into.
+    pub fn segments_of(&self, r: usize) -> Vec<(f64, f64)> {
+        self.rows[r].segments.iter().map(|s| (s.xl, s.xh)).collect()
+    }
+
+    /// Finds the best `(segment index, lower-left x)` slot for a cell of
+    /// width `w` in row `r` targeting x-center `x_target`, without mutating.
+    fn find_slot(&self, r: usize, w: f64, x_target: f64) -> Option<(usize, f64)> {
+        let entry = &self.rows[r];
+        let site = entry.site_width;
+        let mut best: Option<(f64, usize, f64)> = None; // (cost, segment, xl)
+        for (si, seg) in entry.segments.iter().enumerate() {
+            if seg.remaining() + 1e-9 < w {
+                continue;
+            }
+            // Desired lower-left, clamped to [cursor, xh − w], snapped to
+            // site. `remaining()` is checked with a 1e-9 tolerance, so `hi`
+            // can sit a few ulps below `lo`; the tolerant clamp handles the
+            // inverted interval instead of panicking.
+            let lo = seg.cursor;
+            let hi = (seg.xh - w).max(lo);
+            let desired = eplace_geometry::clamp(x_target - 0.5 * w, lo, hi);
+            let snapped =
+                eplace_geometry::clamp(((desired - seg.xl) / site).round() * site + seg.xl, lo, hi);
+            // Snap may land off-grid relative to cursor; push right to the
+            // next site boundary if it would dip below the frontier.
+            let xl = if snapped < lo {
+                (((lo - seg.xl) / site).ceil() * site) + seg.xl
+            } else {
+                snapped
+            };
+            if xl + w > seg.xh + 1e-9 {
+                continue;
+            }
+            let cost = (xl + 0.5 * w - x_target).abs();
+            if best.map(|(c, _, _)| cost < c).unwrap_or(true) {
+                best = Some((cost, si, xl));
+            }
+        }
+        best.map(|(_, si, xl)| (si, xl))
+    }
+
+    /// Read-only variant of [`RowMap::try_place`]: the center x the cell
+    /// *would* get in row `r`, or `None` when it cannot fit.
+    pub fn probe_place(&self, r: usize, w: f64, x_target: f64) -> Option<f64> {
+        self.find_slot(r, w, x_target).map(|(_, xl)| xl + 0.5 * w)
+    }
+
+    /// Tries to place a cell of width `w` in row `r` as close as possible to
+    /// target x-center `x_target`. Returns the center x actually used, or
+    /// `None` if no segment has room. Greedy frontier packing: within a
+    /// segment the cell may go anywhere at or right of the cursor, so the
+    /// ideal x is used when free, otherwise the frontier.
+    pub fn try_place(&mut self, r: usize, w: f64, x_target: f64) -> Option<f64> {
+        let (si, xl) = self.find_slot(r, w, x_target)?;
+        let entry = &mut self.rows[r];
+        let seg = &mut entry.segments[si];
+        // Advance the frontier past the placed cell. Space left of the cell
+        // inside this segment is kept available by splitting.
+        if xl > seg.cursor + 1e-9 {
+            let left = FreeSegment {
+                xl: seg.xl,
+                xh: xl,
+                cursor: seg.cursor,
+            };
+            seg.xl = xl;
+            seg.cursor = xl + w;
+            entry.segments.insert(si, left);
+        } else {
+            seg.cursor = xl + w;
+        }
+        Some(xl + 0.5 * w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eplace_geometry::Point;
+    use eplace_netlist::DesignBuilder;
+
+    fn design_with_blockage() -> Design {
+        let mut b = DesignBuilder::new("d", Rect::new(0.0, 0.0, 100.0, 24.0));
+        b.uniform_rows(12.0, 1.0);
+        let m = b.add_cell_with(
+            "blk",
+            20.0,
+            24.0,
+            CellKind::Macro,
+            true,
+            Point::new(50.0, 12.0),
+        );
+        let mut d = b.build();
+        d.cells[m.index()].pos = Point::new(50.0, 12.0);
+        d
+    }
+
+    #[test]
+    fn blockage_splits_rows() {
+        let d = design_with_blockage();
+        let map = RowMap::build(&d);
+        assert_eq!(map.row_count(), 2);
+        // Each row: [0,40] and [60,100].
+        assert!((map.row_remaining(0) - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn place_at_target_when_free() {
+        let d = design_with_blockage();
+        let mut map = RowMap::build(&d);
+        let x = map.try_place(0, 4.0, 10.0).unwrap();
+        assert!((x - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn place_skips_blockage() {
+        let d = design_with_blockage();
+        let mut map = RowMap::build(&d);
+        // Target center 50 is inside the blockage; nearest legal is at its
+        // edge.
+        let x = map.try_place(0, 4.0, 50.0).unwrap();
+        assert!(!(40.0 - 2.0..60.0 + 2.0).contains(&x) || x <= 42.0 || x >= 58.0);
+        assert!((x - 38.0).abs() < 1e-9 || (x - 62.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn placements_never_overlap_within_segment() {
+        let d = design_with_blockage();
+        let mut map = RowMap::build(&d);
+        let mut placed: Vec<(f64, f64)> = Vec::new();
+        for _ in 0..9 {
+            if let Some(x) = map.try_place(0, 4.0, 20.0) {
+                placed.push((x - 2.0, x + 2.0));
+            }
+        }
+        placed.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for w in placed.windows(2) {
+            assert!(w[0].1 <= w[1].0 + 1e-9, "{:?}", placed);
+        }
+    }
+
+    #[test]
+    fn segment_fills_up() {
+        let mut b = DesignBuilder::new("d", Rect::new(0.0, 0.0, 10.0, 12.0));
+        b.uniform_rows(12.0, 1.0);
+        let d = b.build();
+        let mut map = RowMap::build(&d);
+        // Target the far left so the first cell packs at [0, 6].
+        assert_eq!(map.try_place(0, 6.0, 3.0), Some(3.0));
+        assert!(map.try_place(0, 6.0, 3.0).is_none()); // only 4 left
+        assert_eq!(map.try_place(0, 4.0, 3.0), Some(8.0)); // packs at [6, 10]
+        assert!((map.row_remaining(0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sites_are_respected() {
+        let mut b = DesignBuilder::new("d", Rect::new(0.0, 0.0, 100.0, 12.0));
+        b.uniform_rows(12.0, 2.0); // site width 2
+        let d = b.build();
+        let mut map = RowMap::build(&d);
+        let x = map.try_place(0, 4.0, 7.3).unwrap();
+        let ll = x - 2.0;
+        assert!((ll / 2.0 - (ll / 2.0).round()).abs() < 1e-9, "ll={ll}");
+    }
+}
+
+#[cfg(test)]
+mod regression_tests {
+    use super::*;
+    use eplace_geometry::Point;
+    use eplace_netlist::DesignBuilder;
+
+    /// Regression: a segment whose remaining capacity equals the cell width
+    /// to within a few ulps used to hit `f64::clamp`'s `min > max` panic.
+    #[test]
+    fn exact_fit_with_fp_noise_does_not_panic() {
+        let mut b = DesignBuilder::new("d", Rect::new(0.0, 0.0, 127.01656651326448, 12.0));
+        b.uniform_rows(12.0, 1.0);
+        let a = b.add_cell("a", 127.0165665132645, 12.0, CellKind::StdCell);
+        let mut d = b.build();
+        d.cells[a.index()].pos = Point::new(60.0, 6.0);
+        // Width exceeds the row by ~2e-14: must either place (tolerance) or
+        // fail cleanly — never panic.
+        let map = &mut RowMap::build(&d);
+        let _ = map.try_place(0, 127.0165665132645, 60.0);
+    }
+}

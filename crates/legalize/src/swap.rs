@@ -1,0 +1,228 @@
+//! Global swap — the cross-row refinement move of the FastPlace-DP /
+//! NTUplace3 detail placers: each cell is attracted to its *optimal region*
+//! (the median of its nets' bounding boxes, where HPWL is locally minimal),
+//! and exchanged with an equal-footprint cell already sitting there when the
+//! exchange shortens the incident nets.
+//!
+//! Restricting candidates to identical footprints keeps every accepted move
+//! trivially legal (positions swap, outlines coincide), which is the classic
+//! engineering shortcut — standard-cell libraries have few distinct widths,
+//! so same-size partners are plentiful.
+
+use eplace_geometry::Point;
+use eplace_netlist::{CellKind, Design, NetId};
+
+/// One pass of global swap over every movable standard cell. Returns the
+/// total HPWL improvement (≥ 0); only strictly improving swaps are taken.
+///
+/// # Examples
+///
+/// ```
+/// use eplace_benchgen::BenchmarkConfig;
+/// use eplace_legalize::{check_legal, global_swap, legalize};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut design = BenchmarkConfig::ispd05_like("gs", 4).scale(200).generate();
+/// legalize(&mut design)?;
+/// let gain = global_swap(&mut design, 1);
+/// assert!(gain >= 0.0);
+/// assert!(check_legal(&design).is_ok());
+/// # Ok(())
+/// # }
+/// ```
+pub fn global_swap(design: &mut Design, passes: usize) -> f64 {
+    let before = design.hpwl();
+    let movable: Vec<usize> = design
+        .cells
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.kind == CellKind::StdCell && c.is_movable())
+        .map(|(i, _)| i)
+        .collect();
+    if movable.len() < 2 {
+        return 0.0;
+    }
+    // Partner index: same (width, height) bucket, keyed in fixed-point to
+    // absorb float noise.
+    let key_of = |design: &Design, ci: usize| -> (i64, i64) {
+        let s = design.cells[ci].size;
+        ((s.width * 64.0).round() as i64, (s.height * 64.0).round() as i64)
+    };
+    let mut buckets: std::collections::HashMap<(i64, i64), Vec<usize>> = Default::default();
+    for &ci in &movable {
+        buckets.entry(key_of(design, ci)).or_default().push(ci);
+    }
+
+    for _ in 0..passes {
+        for &ci in &movable {
+            let Some(target) = optimal_point(design, ci) else {
+                continue;
+            };
+            // Already close to optimal: nothing to gain.
+            let here = design.cells[ci].pos;
+            if here.manhattan_distance(target) < design.cells[ci].size.width {
+                continue;
+            }
+            let Some(partners) = buckets.get(&key_of(design, ci)) else {
+                continue;
+            };
+            // Nearest few same-footprint partners to the optimal point.
+            let mut ranked: Vec<(f64, usize)> = partners
+                .iter()
+                .filter(|&&cj| cj != ci)
+                .map(|&cj| (design.cells[cj].pos.manhattan_distance(target), cj))
+                .collect();
+            ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let mut best: Option<(f64, usize)> = None;
+            for &(_, cj) in ranked.iter().take(6) {
+                let delta = swap_gain(design, ci, cj);
+                if delta > 1e-12 && best.map(|(g, _)| delta > g).unwrap_or(true) {
+                    best = Some((delta, cj));
+                }
+            }
+            if let Some((_, cj)) = best {
+                let pi = design.cells[ci].pos;
+                let pj = design.cells[cj].pos;
+                design.cells[ci].pos = pj;
+                design.cells[cj].pos = pi;
+            }
+        }
+    }
+    before - design.hpwl()
+}
+
+/// HPWL gain of swapping the positions of `a` and `b` (positive = better).
+fn swap_gain(design: &mut Design, a: usize, b: usize) -> f64 {
+    let mut nets: Vec<NetId> = design.cell_nets[a].clone();
+    for &n in &design.cell_nets[b] {
+        if !nets.contains(&n) {
+            nets.push(n);
+        }
+    }
+    let cost = |design: &Design| -> f64 {
+        nets.iter()
+            .map(|&n| design.net_hpwl(&design.nets[n.index()]))
+            .sum()
+    };
+    let before = cost(design);
+    let pa = design.cells[a].pos;
+    let pb = design.cells[b].pos;
+    design.cells[a].pos = pb;
+    design.cells[b].pos = pa;
+    let after = cost(design);
+    design.cells[a].pos = pa;
+    design.cells[b].pos = pb;
+    before - after
+}
+
+/// The optimal point of a cell: per axis, the median of its incident nets'
+/// bounding-interval endpoints (computed without the cell's own pin).
+fn optimal_point(design: &Design, ci: usize) -> Option<Point> {
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &n in &design.cell_nets[ci] {
+        let net = &design.nets[n.index()];
+        let mut lo_x = f64::INFINITY;
+        let mut hi_x = f64::NEG_INFINITY;
+        let mut lo_y = f64::INFINITY;
+        let mut hi_y = f64::NEG_INFINITY;
+        for pin in &net.pins {
+            if pin.cell.index() == ci {
+                continue;
+            }
+            let p = design.pin_position(pin);
+            lo_x = lo_x.min(p.x);
+            hi_x = hi_x.max(p.x);
+            lo_y = lo_y.min(p.y);
+            hi_y = hi_y.max(p.y);
+        }
+        if lo_x.is_finite() {
+            xs.push(lo_x);
+            xs.push(hi_x);
+            ys.push(lo_y);
+            ys.push(hi_y);
+        }
+    }
+    if xs.is_empty() {
+        return None;
+    }
+    xs.sort_by(f64::total_cmp);
+    ys.sort_by(f64::total_cmp);
+    Some(Point::new(xs[xs.len() / 2], ys[ys.len() / 2]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check_legal, legalize};
+    use eplace_benchgen::BenchmarkConfig;
+    use eplace_geometry::Rect;
+    use eplace_netlist::DesignBuilder;
+
+    #[test]
+    fn swap_untangles_crossed_cells_across_rows() {
+        // a (row 0) wants to be near pad_top, e (row 1) near pad_bottom:
+        // swapping them fixes both nets at once.
+        let mut b = DesignBuilder::new("gs", Rect::new(0.0, 0.0, 100.0, 24.0));
+        b.uniform_rows(12.0, 1.0);
+        let a = b.add_cell("a", 4.0, 12.0, CellKind::StdCell);
+        let e = b.add_cell("e", 4.0, 12.0, CellKind::StdCell);
+        let pad_bottom = b.add_cell("pb", 2.0, 2.0, CellKind::Terminal);
+        let pad_top = b.add_cell("pt", 2.0, 2.0, CellKind::Terminal);
+        b.add_net("n1", vec![(a, Point::ORIGIN), (pad_top, Point::ORIGIN)]);
+        b.add_net("n2", vec![(e, Point::ORIGIN), (pad_bottom, Point::ORIGIN)]);
+        let mut d = b.build();
+        d.cells[a.index()].pos = Point::new(50.0, 6.0); // bottom row
+        d.cells[e.index()].pos = Point::new(50.0, 18.0); // top row
+        d.cells[pad_bottom.index()].pos = Point::new(50.0, 1.0);
+        d.cells[pad_top.index()].pos = Point::new(50.0, 23.0);
+        let before = d.hpwl();
+        let gain = global_swap(&mut d, 1);
+        assert!(gain > 0.0, "no gain from obvious swap (hpwl {before})");
+        assert!(d.cells[a.index()].pos.y > d.cells[e.index()].pos.y);
+        assert!(check_legal(&d).is_ok());
+    }
+
+    #[test]
+    fn never_worsens_and_preserves_legality() {
+        let mut d = BenchmarkConfig::ispd05_like("gs", 23).scale(300).generate();
+        legalize(&mut d).unwrap();
+        let gain = global_swap(&mut d, 2);
+        assert!(gain >= 0.0);
+        assert!(check_legal(&d).is_ok(), "{:?}", check_legal(&d));
+    }
+
+    #[test]
+    fn swaps_only_identical_footprints() {
+        // Two cells of different widths, both badly placed: no swap allowed.
+        let mut b = DesignBuilder::new("gs", Rect::new(0.0, 0.0, 100.0, 12.0));
+        b.uniform_rows(12.0, 1.0);
+        let a = b.add_cell("a", 4.0, 12.0, CellKind::StdCell);
+        let e = b.add_cell("e", 8.0, 12.0, CellKind::StdCell);
+        let p0 = b.add_cell("p0", 2.0, 2.0, CellKind::Terminal);
+        let p1 = b.add_cell("p1", 2.0, 2.0, CellKind::Terminal);
+        b.add_net("n1", vec![(a, Point::ORIGIN), (p1, Point::ORIGIN)]);
+        b.add_net("n2", vec![(e, Point::ORIGIN), (p0, Point::ORIGIN)]);
+        let mut d = b.build();
+        d.cells[a.index()].pos = Point::new(10.0, 6.0);
+        d.cells[e.index()].pos = Point::new(90.0, 6.0);
+        d.cells[p0.index()].pos = Point::new(10.0, 1.0);
+        d.cells[p1.index()].pos = Point::new(90.0, 1.0);
+        let pos_before = (d.cells[a.index()].pos, d.cells[e.index()].pos);
+        global_swap(&mut d, 1);
+        assert_eq!(
+            (d.cells[a.index()].pos, d.cells[e.index()].pos),
+            pos_before,
+            "different-width cells must not swap"
+        );
+    }
+
+    #[test]
+    fn single_cell_is_a_noop() {
+        let mut b = DesignBuilder::new("gs", Rect::new(0.0, 0.0, 10.0, 12.0));
+        b.uniform_rows(12.0, 1.0);
+        b.add_cell("a", 2.0, 12.0, CellKind::StdCell);
+        let mut d = b.build();
+        assert_eq!(global_swap(&mut d, 3), 0.0);
+    }
+}

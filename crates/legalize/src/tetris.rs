@@ -1,0 +1,219 @@
+use crate::rows::RowMap;
+use crate::LegalizeError;
+use eplace_geometry::Point;
+use eplace_netlist::{CellKind, Design};
+
+/// Outcome of [`legalize`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LegalizeReport {
+    /// Number of standard cells legalized.
+    pub placed: usize,
+    /// Total displacement (Manhattan) incurred.
+    pub total_displacement: f64,
+    /// Largest single-cell displacement.
+    pub max_displacement: f64,
+    /// HPWL before legalization.
+    pub hpwl_before: f64,
+    /// HPWL after legalization.
+    pub hpwl_after: f64,
+}
+
+/// Tetris-style legalization of all movable standard cells.
+///
+/// Cells are processed in ascending x (the classic Hill "Tetris" order);
+/// each is assigned the least-displacement legal slot over candidate rows
+/// near its global position, snapped to sites, with fixed macros carved out
+/// of the rows. Movable macros must already be legalized and fixed (that is
+/// mLG's job) — they are treated as obstacles here.
+///
+/// # Errors
+///
+/// Returns [`LegalizeError`] if some cell cannot fit anywhere (total free
+/// capacity exhausted — e.g. utilization > 1).
+pub fn legalize(design: &mut Design) -> Result<LegalizeReport, LegalizeError> {
+    let hpwl_before = design.hpwl();
+    let mut map = RowMap::build(design);
+    let mut order: Vec<usize> = design
+        .cells
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.kind == CellKind::StdCell && c.is_movable())
+        .map(|(i, _)| i)
+        .collect();
+    order.sort_by(|&a, &b| {
+        let ax = design.cells[a].pos.x - 0.5 * design.cells[a].size.width;
+        let bx = design.cells[b].pos.x - 0.5 * design.cells[b].size.width;
+        ax.total_cmp(&bx)
+    });
+
+    let mut total_displacement = 0.0;
+    let mut max_displacement = 0.0f64;
+    let rows = map.row_count();
+    for &ci in &order {
+        let cell = &design.cells[ci];
+        let w = cell.size.width;
+        let want = cell.pos;
+        // Widening ring search over rows: once the vertical distance of the
+        // ring alone exceeds the incumbent's total cost, no farther row can
+        // win and the search stops.
+        let nearest = nearest_row(&map, want.y, cell.size.height);
+        let mut best: Option<(f64, usize, f64)> = None; // (cost, row, x_center)
+        for ring in 0..rows {
+            let mut candidates = Vec::new();
+            if ring == 0 {
+                candidates.push(nearest);
+            } else {
+                if nearest >= ring {
+                    candidates.push(nearest - ring);
+                }
+                if nearest + ring < rows {
+                    candidates.push(nearest + ring);
+                }
+                if candidates.is_empty() {
+                    break;
+                }
+            }
+            let ring_dy = candidates
+                .iter()
+                .map(|&r| (map.row_y(r) + 0.5 * map.row_height(r) - want.y).abs())
+                .fold(f64::INFINITY, f64::min);
+            if let Some((c, _, _)) = best {
+                if ring_dy >= c {
+                    break;
+                }
+            }
+            for r in candidates {
+                let dy = (map.row_y(r) + 0.5 * map.row_height(r) - want.y).abs();
+                if let Some((c, _, _)) = best {
+                    if dy >= c {
+                        continue; // cannot beat the incumbent even with dx = 0
+                    }
+                }
+                if let Some(x) = map.probe_place(r, w, want.x) {
+                    let cost = (x - want.x).abs() + dy;
+                    if best.map(|(c, _, _)| cost < c).unwrap_or(true) {
+                        best = Some((cost, r, x));
+                    }
+                }
+            }
+        }
+        let (_, row, _) = best.ok_or_else(|| LegalizeError {
+            cell: design.cells[ci].name.clone(),
+            message: "no row segment can host the cell".into(),
+        })?;
+        let x = map.try_place(row, w, want.x).ok_or_else(|| LegalizeError {
+            cell: design.cells[ci].name.clone(),
+            message: "row filled up during assignment".into(),
+        })?;
+        let new_pos = Point::new(x, map.row_y(row) + 0.5 * map.row_height(row));
+        let d = new_pos.manhattan_distance(want);
+        total_displacement += d;
+        max_displacement = max_displacement.max(d);
+        design.cells[ci].pos = new_pos;
+    }
+
+    Ok(LegalizeReport {
+        placed: order.len(),
+        total_displacement,
+        max_displacement,
+        hpwl_before,
+        hpwl_after: design.hpwl(),
+    })
+}
+
+fn nearest_row(map: &RowMap, y: f64, _cell_height: f64) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for r in 0..map.row_count() {
+        let d = (map.row_y(r) + 0.5 * map.row_height(r) - y).abs();
+        if d < best_d {
+            best_d = d;
+            best = r;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check_legal;
+    use eplace_benchgen::BenchmarkConfig;
+    use eplace_geometry::Rect;
+    use eplace_netlist::DesignBuilder;
+
+    #[test]
+    fn legalizes_generated_design() {
+        let mut d = BenchmarkConfig::ispd05_like("lg", 11).scale(300).generate();
+        let report = legalize(&mut d).unwrap();
+        assert_eq!(report.placed, 300);
+        assert!(check_legal(&d).is_ok(), "{:?}", check_legal(&d));
+        assert!(report.total_displacement > 0.0);
+        assert!(report.max_displacement <= report.total_displacement);
+    }
+
+    #[test]
+    fn already_legal_cells_barely_move() {
+        let mut b = DesignBuilder::new("d", Rect::new(0.0, 0.0, 100.0, 24.0));
+        b.uniform_rows(12.0, 1.0);
+        let ids: Vec<_> = (0..5)
+            .map(|i| b.add_cell(format!("c{i}"), 4.0, 12.0, CellKind::StdCell))
+            .collect();
+        let mut d = b.build();
+        for (k, id) in ids.iter().enumerate() {
+            d.cells[id.index()].pos = Point::new(2.0 + 10.0 * k as f64, 6.0);
+        }
+        let report = legalize(&mut d).unwrap();
+        assert!(report.total_displacement < 1e-6, "{report:?}");
+        assert!(check_legal(&d).is_ok());
+    }
+
+    #[test]
+    fn overlapping_pile_gets_spread() {
+        let mut b = DesignBuilder::new("d", Rect::new(0.0, 0.0, 60.0, 24.0));
+        b.uniform_rows(12.0, 1.0);
+        let ids: Vec<_> = (0..10)
+            .map(|i| b.add_cell(format!("c{i}"), 5.0, 12.0, CellKind::StdCell))
+            .collect();
+        let mut d = b.build();
+        for id in &ids {
+            d.cells[id.index()].pos = Point::new(30.0, 6.0);
+        }
+        legalize(&mut d).unwrap();
+        assert!(check_legal(&d).is_ok(), "{:?}", check_legal(&d));
+    }
+
+    #[test]
+    fn capacity_exhaustion_errors() {
+        let mut b = DesignBuilder::new("d", Rect::new(0.0, 0.0, 10.0, 12.0));
+        b.uniform_rows(12.0, 1.0);
+        for i in 0..3 {
+            b.add_cell(format!("c{i}"), 6.0, 12.0, CellKind::StdCell);
+        }
+        let mut d = b.build();
+        let err = legalize(&mut d).unwrap_err();
+        assert!(err.to_string().contains("cannot legalize"));
+    }
+
+    #[test]
+    fn avoids_fixed_macros() {
+        let mut b = DesignBuilder::new("d", Rect::new(0.0, 0.0, 100.0, 12.0));
+        b.uniform_rows(12.0, 1.0);
+        let m = b.add_cell_with(
+            "blk",
+            40.0,
+            12.0,
+            CellKind::Macro,
+            true,
+            Point::new(50.0, 6.0),
+        );
+        let c = b.add_cell("c", 6.0, 12.0, CellKind::StdCell);
+        let mut d = b.build();
+        d.cells[c.index()].pos = Point::new(50.0, 6.0); // on top of the macro
+        legalize(&mut d).unwrap();
+        assert!(check_legal(&d).is_ok());
+        let cr = d.cells[c.index()].rect();
+        let mr = d.cells[m.index()].rect();
+        assert_eq!(cr.overlap_area(&mr), 0.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests of the circuit model.
+
+use crate::{CellKind, DesignBuilder};
+use eplace_geometry::{Point, Rect};
+use proptest::prelude::*;
+
+fn arb_positions(n: usize) -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec(
+        (0.0f64..500.0, 0.0f64..500.0).prop_map(|(x, y)| Point::new(x, y)),
+        n,
+    )
+}
+
+proptest! {
+    #[test]
+    fn hpwl_is_translation_invariant(
+        pos in arb_positions(6),
+        dx in -100.0f64..100.0,
+        dy in -100.0f64..100.0,
+    ) {
+        let mut b = DesignBuilder::new("t", Rect::new(0.0, 0.0, 1000.0, 1000.0));
+        let ids: Vec<_> = (0..6)
+            .map(|i| b.add_cell(format!("c{i}"), 1.0, 1.0, CellKind::StdCell))
+            .collect();
+        b.add_net("a", vec![(ids[0], Point::ORIGIN), (ids[1], Point::ORIGIN), (ids[2], Point::ORIGIN)]);
+        b.add_net("b", vec![(ids[3], Point::ORIGIN), (ids[4], Point::ORIGIN), (ids[5], Point::ORIGIN)]);
+        let mut d = b.build();
+        for (id, p) in ids.iter().zip(&pos) {
+            d.cells[id.index()].pos = *p;
+        }
+        let h1 = d.hpwl();
+        for id in &ids {
+            d.cells[id.index()].pos += Point::new(dx, dy);
+        }
+        let h2 = d.hpwl();
+        prop_assert!((h1 - h2).abs() < 1e-9 * h1.max(1.0));
+    }
+
+    #[test]
+    fn hpwl_scales_linearly(pos in arb_positions(5), k in 0.1f64..10.0) {
+        let mut b = DesignBuilder::new("t", Rect::new(0.0, 0.0, 10_000.0, 10_000.0));
+        let ids: Vec<_> = (0..5)
+            .map(|i| b.add_cell(format!("c{i}"), 1.0, 1.0, CellKind::StdCell))
+            .collect();
+        b.add_net("n", ids.iter().map(|&id| (id, Point::ORIGIN)).collect());
+        let mut d = b.build();
+        for (id, p) in ids.iter().zip(&pos) {
+            d.cells[id.index()].pos = *p;
+        }
+        let h1 = d.hpwl();
+        for id in &ids {
+            let p = d.cells[id.index()].pos;
+            d.cells[id.index()].pos = Point::new(p.x * k, p.y * k);
+        }
+        prop_assert!((d.hpwl() - k * h1).abs() < 1e-6 * (k * h1).max(1.0));
+    }
+
+    #[test]
+    fn hpwl_monotone_under_degree_growth(pos in arb_positions(6)) {
+        // Adding a pin to a net can only grow (or keep) its HPWL.
+        let build = |extra: bool| {
+            let mut b = DesignBuilder::new("t", Rect::new(0.0, 0.0, 1000.0, 1000.0));
+            let ids: Vec<_> = (0..6)
+                .map(|i| b.add_cell(format!("c{i}"), 1.0, 1.0, CellKind::StdCell))
+                .collect();
+            let mut pins: Vec<_> = ids[..5].iter().map(|&id| (id, Point::ORIGIN)).collect();
+            if extra {
+                pins.push((ids[5], Point::ORIGIN));
+            }
+            b.add_net("n", pins);
+            let mut d = b.build();
+            for (id, p) in ids.iter().zip(&pos) {
+                d.cells[id.index()].pos = *p;
+            }
+            d.hpwl()
+        };
+        prop_assert!(build(true) >= build(false) - 1e-9);
+    }
+
+    #[test]
+    fn validate_accepts_all_builder_outputs(
+        n_cells in 1usize..12,
+        net_spec in proptest::collection::vec(proptest::collection::vec(0usize..12, 2..5), 0..8),
+    ) {
+        let mut b = DesignBuilder::new("v", Rect::new(0.0, 0.0, 100.0, 100.0));
+        let ids: Vec<_> = (0..n_cells)
+            .map(|i| b.add_cell(format!("c{i}"), 1.0, 2.0, CellKind::StdCell))
+            .collect();
+        for (k, members) in net_spec.iter().enumerate() {
+            let pins: Vec<_> = members
+                .iter()
+                .map(|&m| (ids[m % n_cells], Point::ORIGIN))
+                .collect();
+            b.add_net(format!("n{k}"), pins);
+        }
+        let d = b.build();
+        prop_assert!(d.validate().is_ok(), "{:?}", d.validate());
+        // Degree bookkeeping is consistent with the nets.
+        let total_incidences: usize = d.cell_nets.iter().map(Vec::len).sum();
+        let distinct_per_net: usize = d
+            .nets
+            .iter()
+            .map(|n| {
+                let mut cells: Vec<_> = n.pins.iter().map(|p| p.cell).collect();
+                cells.sort();
+                cells.dedup();
+                cells.len()
+            })
+            .sum();
+        prop_assert_eq!(total_incidences, distinct_per_net);
+    }
+}

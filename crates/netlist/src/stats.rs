@@ -1,0 +1,134 @@
+use crate::{CellKind, Design};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Summary statistics of a design, in the style of the benchmark tables in
+/// the paper ("# Cells", "# Mac", ρ_t, …).
+///
+/// # Examples
+///
+/// ```
+/// use eplace_netlist::{CellKind, DesignBuilder, DesignStats};
+/// use eplace_geometry::Rect;
+///
+/// let mut b = DesignBuilder::new("d", Rect::new(0.0, 0.0, 100.0, 100.0));
+/// b.add_cell("a", 2.0, 2.0, CellKind::StdCell);
+/// b.add_cell("m", 20.0, 20.0, CellKind::Macro);
+/// let stats = DesignStats::of(&b.build());
+/// assert_eq!(stats.std_cells, 1);
+/// assert_eq!(stats.macros, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignStats {
+    /// Design name.
+    pub name: String,
+    /// Number of standard cells.
+    pub std_cells: usize,
+    /// Number of macros (movable or fixed).
+    pub macros: usize,
+    /// Number of movable macros.
+    pub movable_macros: usize,
+    /// Number of fixed terminals.
+    pub terminals: usize,
+    /// Number of fillers currently present.
+    pub fillers: usize,
+    /// Number of nets.
+    pub nets: usize,
+    /// Total number of pins.
+    pub pins: usize,
+    /// Density upper bound ρ_t.
+    pub target_density: f64,
+    /// Movable area over whitespace.
+    pub utilization: f64,
+    /// Average standard-cell width.
+    pub avg_std_cell_width: f64,
+}
+
+impl DesignStats {
+    /// Computes statistics for `design`.
+    pub fn of(design: &Design) -> Self {
+        let std_cells = design.count_kind(CellKind::StdCell);
+        let macros = design.count_kind(CellKind::Macro);
+        let movable_macros = design
+            .cells
+            .iter()
+            .filter(|c| c.kind == CellKind::Macro && c.is_movable())
+            .count();
+        let width_sum: f64 = design
+            .cells
+            .iter()
+            .filter(|c| c.kind == CellKind::StdCell)
+            .map(|c| c.size.width)
+            .sum();
+        DesignStats {
+            name: design.name.clone(),
+            std_cells,
+            macros,
+            movable_macros,
+            terminals: design.count_kind(CellKind::Terminal),
+            fillers: design.count_kind(CellKind::Filler),
+            nets: design.nets.len(),
+            pins: design.nets.iter().map(|n| n.degree()).sum(),
+            target_density: design.target_density,
+            utilization: design.utilization(),
+            avg_std_cell_width: if std_cells > 0 {
+                width_sum / std_cells as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+impl fmt::Display for DesignStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} cells, {} macros ({} movable), {} terminals, {} nets, {} pins, rho_t={:.2}, util={:.2}",
+            self.name,
+            self.std_cells,
+            self.macros,
+            self.movable_macros,
+            self.terminals,
+            self.nets,
+            self.pins,
+            self.target_density,
+            self.utilization,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DesignBuilder;
+    use eplace_geometry::{Point, Rect};
+
+    #[test]
+    fn stats_counts() {
+        let mut b = DesignBuilder::new("s", Rect::new(0.0, 0.0, 100.0, 100.0));
+        let a = b.add_cell("a", 2.0, 4.0, CellKind::StdCell);
+        let c = b.add_cell("b", 4.0, 4.0, CellKind::StdCell);
+        b.add_cell("m", 20.0, 20.0, CellKind::Macro);
+        b.add_cell("io", 1.0, 1.0, CellKind::Terminal);
+        b.add_net("n0", vec![(a, Point::ORIGIN), (c, Point::ORIGIN)]);
+        b.add_net("n1", vec![(a, Point::ORIGIN), (c, Point::ORIGIN)]);
+        let s = DesignStats::of(&b.build());
+        assert_eq!(s.std_cells, 2);
+        assert_eq!(s.macros, 1);
+        assert_eq!(s.movable_macros, 1);
+        assert_eq!(s.terminals, 1);
+        assert_eq!(s.nets, 2);
+        assert_eq!(s.pins, 4);
+        assert_eq!(s.avg_std_cell_width, 3.0);
+        assert!(s.to_string().contains("2 cells"));
+    }
+
+    #[test]
+    fn stats_empty_design() {
+        let b = DesignBuilder::new("empty", Rect::new(0.0, 0.0, 1.0, 1.0));
+        let s = DesignStats::of(&b.build());
+        assert_eq!(s.std_cells, 0);
+        assert_eq!(s.avg_std_cell_width, 0.0);
+    }
+}

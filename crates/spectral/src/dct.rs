@@ -1,0 +1,320 @@
+use crate::{Complex, FftPlan};
+use std::f64::consts::PI;
+
+/// A reusable plan for cosine/sine transforms of one fixed power-of-two size.
+///
+/// All transforms run in `O(N log N)` via Makhoul's repacking onto a single
+/// `N`-point complex FFT:
+///
+/// * [`DctPlan::dct2`] — forward DCT-II (the analysis step of the Poisson
+///   solve),
+/// * [`DctPlan::idct2`] — exact inverse of `dct2`,
+/// * [`DctPlan::dct3`] — DCT-III synthesis (`(N/2)·idct2`), used for the
+///   potential ψ,
+/// * [`DctPlan::dst3`] — DST-III-style synthesis, used for the field ξ.
+///
+/// # Examples
+///
+/// ```
+/// use eplace_spectral::DctPlan;
+///
+/// let plan = DctPlan::new(16);
+/// let x: Vec<f64> = (0..16).map(|i| i as f64).collect();
+/// let c = plan.dct2(&x);
+/// let y = plan.dct3(&c);
+/// for (a, b) in x.iter().zip(&y) {
+///     assert!((8.0 * a - b).abs() < 1e-9); // dct3∘dct2 = (N/2)·id
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DctPlan {
+    size: usize,
+    fft: FftPlan,
+    /// `e^{-iπu/(2N)}` for `u < N` — forward post-twiddles.
+    fwd_twiddles: Vec<Complex>,
+}
+
+impl DctPlan {
+    /// Builds a plan for transforms of length `size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not a power of two.
+    pub fn new(size: usize) -> Self {
+        let fwd_twiddles = (0..size)
+            .map(|u| Complex::from_polar_unit(-PI * u as f64 / (2 * size) as f64))
+            .collect();
+        DctPlan {
+            size,
+            fft: FftPlan::new(size),
+            fwd_twiddles,
+        }
+    }
+
+    /// The transform length this plan was built for.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// Always `false`; present for the `len`/`is_empty` convention.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Forward DCT-II: `X[u] = Σ_n x[n]·cos(π·u·(2n+1)/(2N))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from the plan size.
+    pub fn dct2(&self, input: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.size];
+        self.dct2_into(input, &mut out);
+        out
+    }
+
+    /// [`DctPlan::dct2`] writing into a caller-provided buffer (hot-path
+    /// variant used by the 2-D transforms).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice length differs from the plan size.
+    pub fn dct2_into(&self, input: &[f64], out: &mut [f64]) {
+        let n = self.size;
+        assert_eq!(input.len(), n, "dct2 input length mismatch");
+        assert_eq!(out.len(), n, "dct2 output length mismatch");
+        if n == 1 {
+            out[0] = input[0];
+            return;
+        }
+        // Makhoul repacking: even-indexed samples ascending, odd descending.
+        let mut buf = vec![Complex::ZERO; n];
+        for i in 0..n / 2 {
+            buf[i] = Complex::from(input[2 * i]);
+            buf[n - 1 - i] = Complex::from(input[2 * i + 1]);
+        }
+        self.fft.forward(&mut buf);
+        for u in 0..n {
+            out[u] = (buf[u] * self.fwd_twiddles[u]).re;
+        }
+    }
+
+    /// Exact inverse of [`DctPlan::dct2`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len()` differs from the plan size.
+    pub fn idct2(&self, coeffs: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.size];
+        self.idct2_into(coeffs, &mut out);
+        out
+    }
+
+    /// [`DctPlan::idct2`] writing into a caller-provided buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice length differs from the plan size.
+    pub fn idct2_into(&self, coeffs: &[f64], out: &mut [f64]) {
+        let n = self.size;
+        assert_eq!(coeffs.len(), n, "idct2 input length mismatch");
+        assert_eq!(out.len(), n, "idct2 output length mismatch");
+        if n == 1 {
+            out[0] = coeffs[0];
+            return;
+        }
+        // Rebuild the FFT spectrum: V[u] = e^{iπu/(2N)}·(X[u] − i·X[N−u]),
+        // with X[N] ≡ 0.
+        let mut buf = vec![Complex::ZERO; n];
+        buf[0] = Complex::from(coeffs[0]);
+        for u in 1..n {
+            let z = Complex::new(coeffs[u], -coeffs[n - u]);
+            buf[u] = z * self.fwd_twiddles[u].conj();
+        }
+        self.fft.inverse(&mut buf);
+        for i in 0..n / 2 {
+            out[2 * i] = buf[i].re;
+            out[2 * i + 1] = buf[n - 1 - i].re;
+        }
+    }
+
+    /// DCT-III synthesis:
+    /// `y[n] = X[0]/2 + Σ_{u≥1} X[u]·cos(π·u·(2n+1)/(2N))`.
+    ///
+    /// Satisfies `dct3(dct2(x)) == (N/2)·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len()` differs from the plan size.
+    pub fn dct3(&self, coeffs: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.size];
+        self.dct3_into(coeffs, &mut out);
+        out
+    }
+
+    /// [`DctPlan::dct3`] writing into a caller-provided buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice length differs from the plan size.
+    pub fn dct3_into(&self, coeffs: &[f64], out: &mut [f64]) {
+        self.idct2_into(coeffs, out);
+        let scale = self.size as f64 / 2.0;
+        for v in out.iter_mut() {
+            *v *= scale;
+        }
+    }
+
+    /// DST-III-style synthesis used for the electric field:
+    /// `y[n] = Σ_{u=1}^{N-1} b[u]·sin(π·u·(2n+1)/(2N))`.
+    ///
+    /// `b[0]` multiplies the identically-zero basis function `sin(0)` and is
+    /// therefore ignored.
+    ///
+    /// Implemented through the identity
+    /// `sin(πu(2n+1)/(2N)) = (−1)ⁿ·cos(π(N−u)(2n+1)/(2N))`, which turns the
+    /// sine synthesis into a coefficient-reversed [`DctPlan::dct3`] followed
+    /// by alternating sign flips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len()` differs from the plan size.
+    pub fn dst3(&self, coeffs: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.size];
+        self.dst3_into(coeffs, &mut out);
+        out
+    }
+
+    /// [`DctPlan::dst3`] writing into a caller-provided buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice length differs from the plan size.
+    pub fn dst3_into(&self, coeffs: &[f64], out: &mut [f64]) {
+        let n = self.size;
+        assert_eq!(coeffs.len(), n, "dst3 input length mismatch");
+        assert_eq!(out.len(), n, "dst3 output length mismatch");
+        if n == 1 {
+            out[0] = 0.0;
+            return;
+        }
+        let mut reversed = vec![0.0; n];
+        for u in 1..n {
+            reversed[u] = coeffs[n - u];
+        }
+        self.dct3_into(&reversed, out);
+        for (i, v) in out.iter_mut().enumerate() {
+            if i % 2 == 1 {
+                *v = -*v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "mismatch: {x} vs {y}");
+        }
+    }
+
+    fn test_signal(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.37).sin() + 0.2 * (i as f64 * 1.7).cos())
+            .collect()
+    }
+
+    #[test]
+    fn dct2_matches_reference() {
+        for &n in &[1usize, 2, 4, 8, 32, 128] {
+            let plan = DctPlan::new(n);
+            let x = test_signal(n);
+            assert_close(&plan.dct2(&x), &reference::naive_dct2(&x), 1e-9);
+        }
+    }
+
+    #[test]
+    fn idct2_inverts_dct2() {
+        for &n in &[1usize, 2, 8, 64] {
+            let plan = DctPlan::new(n);
+            let x = test_signal(n);
+            assert_close(&plan.idct2(&plan.dct2(&x)), &x, 1e-10);
+        }
+    }
+
+    #[test]
+    fn dct3_matches_reference() {
+        for &n in &[2usize, 4, 16, 64] {
+            let plan = DctPlan::new(n);
+            let c = test_signal(n);
+            assert_close(&plan.dct3(&c), &reference::naive_dct3(&c), 1e-9);
+        }
+    }
+
+    #[test]
+    fn dst3_matches_reference() {
+        for &n in &[2usize, 4, 16, 64] {
+            let plan = DctPlan::new(n);
+            let c = test_signal(n);
+            assert_close(&plan.dst3(&c), &reference::naive_dst3(&c), 1e-9);
+        }
+    }
+
+    #[test]
+    fn dct3_dct2_is_half_n_identity() {
+        let n = 32;
+        let plan = DctPlan::new(n);
+        let x = test_signal(n);
+        let y = plan.dct3(&plan.dct2(&x));
+        let scaled: Vec<f64> = x.iter().map(|v| v * n as f64 / 2.0).collect();
+        assert_close(&y, &scaled, 1e-9);
+    }
+
+    #[test]
+    fn dst3_zeroth_coefficient_is_ignored() {
+        let plan = DctPlan::new(8);
+        let mut c = test_signal(8);
+        let a = plan.dst3(&c);
+        c[0] = 1234.5;
+        let b = plan.dst3(&c);
+        assert_close(&a, &b, 1e-12);
+    }
+
+    #[test]
+    fn dct2_of_single_cosine_mode_is_sparse() {
+        let n = 16;
+        let plan = DctPlan::new(n);
+        let u0 = 3;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (PI * u0 as f64 * (2 * i + 1) as f64 / (2 * n) as f64).cos())
+            .collect();
+        let c = plan.dct2(&x);
+        for (u, &v) in c.iter().enumerate() {
+            if u == u0 {
+                assert!((v - n as f64 / 2.0).abs() < 1e-9);
+            } else {
+                assert!(v.abs() < 1e-9, "leakage at {u}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_length_panics() {
+        let plan = DctPlan::new(8);
+        let _ = plan.dct2(&[1.0; 4]);
+    }
+
+    #[test]
+    fn len_accessor() {
+        let plan = DctPlan::new(4);
+        assert_eq!(plan.len(), 4);
+        assert!(!plan.is_empty());
+    }
+}

@@ -1,0 +1,248 @@
+use crate::Complex;
+use std::f64::consts::PI;
+
+/// A reusable plan for radix-2 complex FFTs of one fixed power-of-two size.
+///
+/// The plan precomputes the bit-reversal permutation and the forward twiddle
+/// factors once; [`FftPlan::forward`] and [`FftPlan::inverse`] then run the
+/// classic iterative Cooley–Tukey butterfly in place.
+///
+/// The transform convention is the unnormalized DFT
+/// `X[k] = Σ_n x[n]·e^{-2πi·k·n/N}`; the inverse divides by `N`, so
+/// `inverse(forward(x)) == x`.
+///
+/// # Examples
+///
+/// ```
+/// use eplace_spectral::{Complex, FftPlan};
+///
+/// let plan = FftPlan::new(4);
+/// let mut data = vec![Complex::ONE; 4];
+/// plan.forward(&mut data);
+/// assert_eq!(data[0], Complex::new(4.0, 0.0)); // DC bin
+/// assert!(data[1].norm() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    size: usize,
+    bit_rev: Vec<u32>,
+    /// Forward twiddles `e^{-2πi·k/N}` for `k < N/2`.
+    twiddles: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Builds a plan for transforms of length `size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not a power of two.
+    pub fn new(size: usize) -> Self {
+        assert!(
+            crate::is_power_of_two(size),
+            "FFT size must be a power of two, got {size}"
+        );
+        let bits = size.trailing_zeros();
+        let mut bit_rev = vec![0u32; size];
+        for (i, slot) in bit_rev.iter_mut().enumerate() {
+            *slot = (i as u32).reverse_bits() >> (32 - bits.max(1));
+        }
+        if size == 1 {
+            bit_rev[0] = 0;
+        }
+        let twiddles = (0..size / 2)
+            .map(|k| Complex::from_polar_unit(-2.0 * PI * k as f64 / size as f64))
+            .collect();
+        FftPlan {
+            size,
+            bit_rev,
+            twiddles,
+        }
+    }
+
+    /// The transform length this plan was built for.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// Returns `true` for the (degenerate but legal) length-1 plan — present
+    /// to satisfy the `len`/`is_empty` convention; a plan is never truly
+    /// empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// In-place forward DFT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the plan size.
+    pub fn forward(&self, data: &mut [Complex]) {
+        self.transform(data, false);
+    }
+
+    /// In-place inverse DFT (including the `1/N` normalization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the plan size.
+    pub fn inverse(&self, data: &mut [Complex]) {
+        self.transform(data, true);
+        let scale = 1.0 / self.size as f64;
+        for z in data.iter_mut() {
+            *z = z.scale(scale);
+        }
+    }
+
+    fn transform(&self, data: &mut [Complex], invert: bool) {
+        assert_eq!(
+            data.len(),
+            self.size,
+            "FFT buffer length {} differs from plan size {}",
+            data.len(),
+            self.size
+        );
+        let n = self.size;
+        if n == 1 {
+            return;
+        }
+        // Bit-reversal permutation.
+        for i in 0..n {
+            let j = self.bit_rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        // Iterative butterflies. Twiddles for stage of half-size `half` are
+        // the precomputed table strided by n/(2*half).
+        let mut half = 1;
+        while half < n {
+            let stride = n / (2 * half);
+            let mut start = 0;
+            while start < n {
+                for k in 0..half {
+                    let w = if invert {
+                        self.twiddles[k * stride].conj()
+                    } else {
+                        self.twiddles[k * stride]
+                    };
+                    let a = data[start + k];
+                    let b = data[start + k + half] * w;
+                    data[start + k] = a + b;
+                    data[start + k + half] = a - b;
+                }
+                start += 2 * half;
+            }
+            half *= 2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!(
+                (*x - *y).norm() < tol,
+                "mismatch: {x} vs {y} (tol {tol})"
+            );
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let plan = FftPlan::new(8);
+        let mut data = vec![Complex::ZERO; 8];
+        data[0] = Complex::ONE;
+        plan.forward(&mut data);
+        for z in &data {
+            assert!((z.re - 1.0).abs() < 1e-14 && z.im.abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for &n in &[1usize, 2, 4, 8, 16, 64] {
+            let plan = FftPlan::new(n);
+            let input: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+                .collect();
+            let mut fast = input.clone();
+            plan.forward(&mut fast);
+            let slow = reference::naive_dft(&input);
+            assert_close(&fast, &slow, 1e-10);
+        }
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        let plan = FftPlan::new(32);
+        let input: Vec<Complex> = (0..32)
+            .map(|i| Complex::new(i as f64, -(i as f64) * 0.5))
+            .collect();
+        let mut data = input.clone();
+        plan.forward(&mut data);
+        plan.inverse(&mut data);
+        assert_close(&data, &input, 1e-10);
+    }
+
+    #[test]
+    fn linearity() {
+        let plan = FftPlan::new(16);
+        let a: Vec<Complex> = (0..16).map(|i| Complex::new(i as f64, 0.0)).collect();
+        let b: Vec<Complex> = (0..16).map(|i| Complex::new(0.0, (i * i) as f64)).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        plan.forward(&mut fa);
+        plan.forward(&mut fb);
+        let mut fab: Vec<Complex> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        plan.forward(&mut fab);
+        for i in 0..16 {
+            assert!((fab[i] - (fa[i] + fb[i])).norm() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let plan = FftPlan::new(64);
+        let input: Vec<Complex> = (0..64)
+            .map(|i| Complex::new((i as f64).cos(), (i as f64 * 0.3).sin()))
+            .collect();
+        let time_energy: f64 = input.iter().map(|z| z.norm_sq()).sum();
+        let mut freq = input.clone();
+        plan.forward(&mut freq);
+        let freq_energy: f64 = freq.iter().map(|z| z.norm_sq()).sum::<f64>() / 64.0;
+        assert!((time_energy - freq_energy).abs() < 1e-8 * time_energy);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_size_panics() {
+        let _ = FftPlan::new(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "differs from plan size")]
+    fn wrong_buffer_length_panics() {
+        let plan = FftPlan::new(8);
+        let mut data = vec![Complex::ZERO; 4];
+        plan.forward(&mut data);
+    }
+
+    #[test]
+    fn size_one_is_identity() {
+        let plan = FftPlan::new(1);
+        let mut data = vec![Complex::new(3.0, 4.0)];
+        plan.forward(&mut data);
+        assert_eq!(data[0], Complex::new(3.0, 4.0));
+        plan.inverse(&mut data);
+        assert_eq!(data[0], Complex::new(3.0, 4.0));
+        assert_eq!(plan.len(), 1);
+        assert!(!plan.is_empty());
+    }
+}

@@ -1,0 +1,106 @@
+//! Spectral transform substrate for the ePlace reproduction.
+//!
+//! The eDensity Poisson equation (paper Eq. 6) is solved by spectral methods:
+//! the density is expanded in the Neumann-boundary cosine eigenbasis of the
+//! Laplacian, coefficients are scaled by the inverse eigenvalues, and the
+//! potential/field are synthesized by inverse cosine/sine transforms. Total
+//! cost is `O(n log n)` per iteration via the fast Fourier transform.
+//!
+//! Everything here is written from scratch — no external FFT crate:
+//!
+//! * [`Complex`] — minimal complex arithmetic.
+//! * [`FftPlan`] — iterative radix-2 complex FFT with precomputed twiddles.
+//! * [`DctPlan`] — DCT-II / DCT-III / DST-III via Makhoul's N-point-FFT
+//!   repacking, plus exact inverses.
+//! * [`Transform2d`] — separable two-dimensional transforms in the exact
+//!   basis mix the Poisson solver needs (cos·cos, sin·cos, cos·sin).
+//! * [`mod@reference`] — naive `O(N²)` reference transforms used by the tests.
+//!
+//! # Conventions
+//!
+//! For a length-`N` real sequence `x`,
+//!
+//! * `DCT-II`:  `X[u] = Σ_n x[n]·cos(π·u·(2n+1)/(2N))`
+//! * `DCT-III`: `y[n] = X[0]/2 + Σ_{u≥1} X[u]·cos(π·u·(2n+1)/(2N))`
+//! * `DST-III` (as used for the field synthesis):
+//!   `y[n] = Σ_{u=1}^{N-1} b[u]·sin(π·u·(2n+1)/(2N))`
+//!
+//! `dct3(dct2(x)) == (N/2)·x`, and [`DctPlan::idct2`] is the exact inverse of
+//! [`DctPlan::dct2`].
+//!
+//! # Examples
+//!
+//! ```
+//! use eplace_spectral::DctPlan;
+//!
+//! let plan = DctPlan::new(8);
+//! let x: Vec<f64> = (0..8).map(|i| (i as f64).sin()).collect();
+//! let coeffs = plan.dct2(&x);
+//! let back = plan.idct2(&coeffs);
+//! for (a, b) in x.iter().zip(&back) {
+//!     assert!((a - b).abs() < 1e-12);
+//! }
+//! ```
+
+mod complex;
+mod dct;
+mod fft;
+pub mod reference;
+mod transform2d;
+
+pub use complex::Complex;
+pub use dct::DctPlan;
+pub use fft::FftPlan;
+pub use transform2d::Transform2d;
+
+/// Returns `true` when `n` is a power of two (and non-zero).
+///
+/// # Examples
+///
+/// ```
+/// assert!(eplace_spectral::is_power_of_two(64));
+/// assert!(!eplace_spectral::is_power_of_two(48));
+/// ```
+#[inline]
+pub fn is_power_of_two(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// Smallest power of two `>= n` (minimum 1).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(eplace_spectral::next_power_of_two(100), 128);
+/// assert_eq!(eplace_spectral::next_power_of_two(0), 1);
+/// ```
+#[inline]
+pub fn next_power_of_two(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_of_two_predicates() {
+        assert!(is_power_of_two(1));
+        assert!(is_power_of_two(2));
+        assert!(is_power_of_two(1024));
+        assert!(!is_power_of_two(0));
+        assert!(!is_power_of_two(3));
+        assert!(!is_power_of_two(1023));
+    }
+
+    #[test]
+    fn next_pow2() {
+        assert_eq!(next_power_of_two(1), 1);
+        assert_eq!(next_power_of_two(2), 2);
+        assert_eq!(next_power_of_two(3), 4);
+        assert_eq!(next_power_of_two(1025), 2048);
+    }
+}
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,86 @@
+//! Property-based tests of the transform algebra.
+
+use crate::{reference, Complex, DctPlan, FftPlan};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn fft_parseval(values in proptest::collection::vec(-100.0f64..100.0, 64)) {
+        let input: Vec<Complex> = values
+            .chunks(2)
+            .map(|c| Complex::new(c[0], c[1]))
+            .collect();
+        let plan = FftPlan::new(32);
+        let mut freq = input.clone();
+        plan.forward(&mut freq);
+        let time_energy: f64 = input.iter().map(|z| z.norm_sq()).sum();
+        let freq_energy: f64 = freq.iter().map(|z| z.norm_sq()).sum::<f64>() / 32.0;
+        prop_assert!((time_energy - freq_energy).abs() < 1e-6 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn fft_convolution_theorem(
+        a in proptest::collection::vec(-10.0f64..10.0, 16),
+        b in proptest::collection::vec(-10.0f64..10.0, 16),
+    ) {
+        // Circular convolution in time = pointwise product in frequency.
+        let n = 16;
+        let plan = FftPlan::new(n);
+        let ca: Vec<Complex> = a.iter().map(|&v| Complex::from(v)).collect();
+        let cb: Vec<Complex> = b.iter().map(|&v| Complex::from(v)).collect();
+        // Direct circular convolution.
+        let mut direct = vec![Complex::ZERO; n];
+        for (i, d) in direct.iter_mut().enumerate() {
+            for k in 0..n {
+                *d += ca[k] * cb[(i + n - k) % n];
+            }
+        }
+        // Via FFT.
+        let mut fa = ca.clone();
+        let mut fb = cb.clone();
+        plan.forward(&mut fa);
+        plan.forward(&mut fb);
+        let mut prod: Vec<Complex> = fa.iter().zip(&fb).map(|(x, y)| *x * *y).collect();
+        plan.inverse(&mut prod);
+        for (d, p) in direct.iter().zip(&prod) {
+            prop_assert!((*d - *p).norm() < 1e-7, "{d} vs {p}");
+        }
+    }
+
+    #[test]
+    fn dct_linearity(
+        a in proptest::collection::vec(-50.0f64..50.0, 16),
+        b in proptest::collection::vec(-50.0f64..50.0, 16),
+        s in -3.0f64..3.0,
+    ) {
+        let plan = DctPlan::new(16);
+        let combo: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + s * y).collect();
+        let ca = plan.dct2(&a);
+        let cb = plan.dct2(&b);
+        let cc = plan.dct2(&combo);
+        for i in 0..16 {
+            prop_assert!((cc[i] - (ca[i] + s * cb[i])).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn dst3_matches_reference_on_arbitrary_coeffs(
+        coeffs in proptest::collection::vec(-20.0f64..20.0, 32),
+    ) {
+        let plan = DctPlan::new(32);
+        let fast = plan.dst3(&coeffs);
+        let slow = reference::naive_dst3(&coeffs);
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn dct2_idct2_roundtrip_arbitrary(values in proptest::collection::vec(-1e3f64..1e3, 64)) {
+        let plan = DctPlan::new(64);
+        let back = plan.idct2(&plan.dct2(&values));
+        for (a, b) in back.iter().zip(&values) {
+            prop_assert!((a - b).abs() < 1e-7 * (1.0 + b.abs()));
+        }
+    }
+}

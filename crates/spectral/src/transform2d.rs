@@ -1,0 +1,283 @@
+use crate::DctPlan;
+
+/// Which 1-D kernel a pass applies along an axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kernel {
+    Dct2,
+    Dct3,
+    Dst3,
+}
+
+/// Separable two-dimensional cosine/sine transforms over a row-major
+/// `nx × ny` grid (`data[iy·nx + ix]`), providing exactly the basis mixes
+/// the eDensity Poisson solver needs:
+///
+/// * analysis [`Transform2d::dct2`] — `cos·cos` coefficients of the density,
+/// * synthesis [`Transform2d::dct3`] — potential ψ (`cos·cos`),
+/// * synthesis [`Transform2d::dst3_x`] — field ξx (`sin` in x, `cos` in y),
+/// * synthesis [`Transform2d::dst3_y`] — field ξy (`cos` in x, `sin` in y).
+///
+/// The object owns scratch buffers, so calls are allocation-free after
+/// construction; this matters because the placer transforms the grid four
+/// times per optimizer iteration.
+///
+/// # Examples
+///
+/// ```
+/// use eplace_spectral::Transform2d;
+///
+/// let mut t = Transform2d::new(4, 8);
+/// let mut grid: Vec<f64> = (0..32).map(|i| (i as f64 * 0.3).sin()).collect();
+/// let original = grid.clone();
+/// t.dct2(&mut grid);
+/// t.dct3(&mut grid);
+/// // dct3∘dct2 scales by (nx/2)·(ny/2) = 2·4.
+/// for (a, b) in grid.iter().zip(&original) {
+///     assert!((a - 8.0 * b).abs() < 1e-9);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Transform2d {
+    nx: usize,
+    ny: usize,
+    plan_x: DctPlan,
+    plan_y: DctPlan,
+    row_buf: Vec<f64>,
+    transpose_buf: Vec<f64>,
+}
+
+impl Transform2d {
+    /// Builds transforms for an `nx × ny` grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is not a power of two.
+    pub fn new(nx: usize, ny: usize) -> Self {
+        Transform2d {
+            nx,
+            ny,
+            plan_x: DctPlan::new(nx),
+            plan_y: DctPlan::new(ny),
+            row_buf: vec![0.0; nx.max(ny)],
+            transpose_buf: vec![0.0; nx * ny],
+        }
+    }
+
+    /// Grid width (number of columns / x-bins).
+    #[inline]
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Grid height (number of rows / y-bins).
+    #[inline]
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Forward 2-D DCT-II in place:
+    /// `A[u,v] = Σ_{x,y} data[x,y]·cos(πu(2x+1)/2nx)·cos(πv(2y+1)/2ny)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != nx·ny`.
+    pub fn dct2(&mut self, data: &mut [f64]) {
+        self.apply(data, Kernel::Dct2, Kernel::Dct2);
+    }
+
+    /// 2-D DCT-III synthesis in place (u=0 / v=0 terms carry the usual ½
+    /// factors). `dct3(dct2(x)) == (nx/2)(ny/2)·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != nx·ny`.
+    pub fn dct3(&mut self, data: &mut [f64]) {
+        self.apply(data, Kernel::Dct3, Kernel::Dct3);
+    }
+
+    /// Mixed synthesis, sine along x and cosine along y:
+    /// `out[x,y] = Σ_{u≥1,v} C[u,v]·sin(πu(2x+1)/2nx)·cos(πv(2y+1)/2ny)`
+    /// (the `v` sum carries the ½ factor at `v = 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != nx·ny`.
+    pub fn dst3_x(&mut self, data: &mut [f64]) {
+        self.apply(data, Kernel::Dst3, Kernel::Dct3);
+    }
+
+    /// Mixed synthesis, cosine along x and sine along y (mirror of
+    /// [`Transform2d::dst3_x`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != nx·ny`.
+    pub fn dst3_y(&mut self, data: &mut [f64]) {
+        self.apply(data, Kernel::Dct3, Kernel::Dst3);
+    }
+
+    fn apply(&mut self, data: &mut [f64], kernel_x: Kernel, kernel_y: Kernel) {
+        assert_eq!(
+            data.len(),
+            self.nx * self.ny,
+            "grid buffer length {} differs from {}x{}",
+            data.len(),
+            self.nx,
+            self.ny
+        );
+        // Pass 1: rows (x-direction), contiguous.
+        for iy in 0..self.ny {
+            let row = &mut data[iy * self.nx..(iy + 1) * self.nx];
+            Self::run_kernel(&self.plan_x, kernel_x, row, &mut self.row_buf[..self.nx]);
+        }
+        // Pass 2: columns (y-direction) via transpose.
+        for iy in 0..self.ny {
+            for ix in 0..self.nx {
+                self.transpose_buf[ix * self.ny + iy] = data[iy * self.nx + ix];
+            }
+        }
+        for ix in 0..self.nx {
+            let col = &mut self.transpose_buf[ix * self.ny..(ix + 1) * self.ny];
+            Self::run_kernel(&self.plan_y, kernel_y, col, &mut self.row_buf[..self.ny]);
+        }
+        for iy in 0..self.ny {
+            for ix in 0..self.nx {
+                data[iy * self.nx + ix] = self.transpose_buf[ix * self.ny + iy];
+            }
+        }
+    }
+
+    fn run_kernel(plan: &DctPlan, kernel: Kernel, line: &mut [f64], scratch: &mut [f64]) {
+        match kernel {
+            Kernel::Dct2 => plan.dct2_into(line, scratch),
+            Kernel::Dct3 => plan.dct3_into(line, scratch),
+            Kernel::Dst3 => plan.dst3_into(line, scratch),
+        }
+        line.copy_from_slice(scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use std::f64::consts::PI;
+
+    fn grid(nx: usize, ny: usize) -> Vec<f64> {
+        (0..nx * ny).map(|i| ((i * 7 % 13) as f64) - 6.0).collect()
+    }
+
+    /// Naive 2-D transform: kernel_x over x, kernel_y over y.
+    fn naive_2d(
+        data: &[f64],
+        nx: usize,
+        ny: usize,
+        fx: fn(&[f64]) -> Vec<f64>,
+        fy: fn(&[f64]) -> Vec<f64>,
+    ) -> Vec<f64> {
+        let mut out = data.to_vec();
+        for iy in 0..ny {
+            let row: Vec<f64> = (0..nx).map(|ix| out[iy * nx + ix]).collect();
+            let t = fx(&row);
+            for ix in 0..nx {
+                out[iy * nx + ix] = t[ix];
+            }
+        }
+        for ix in 0..nx {
+            let col: Vec<f64> = (0..ny).map(|iy| out[iy * nx + ix]).collect();
+            let t = fy(&col);
+            for iy in 0..ny {
+                out[iy * nx + ix] = t[iy];
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn dct2_2d_matches_naive_separable() {
+        let (nx, ny) = (8, 4);
+        let data = grid(nx, ny);
+        let mut fast = data.clone();
+        Transform2d::new(nx, ny).dct2(&mut fast);
+        let slow = naive_2d(&data, nx, ny, reference::naive_dct2, reference::naive_dct2);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dst3_x_matches_naive_separable() {
+        let (nx, ny) = (8, 8);
+        let data = grid(nx, ny);
+        let mut fast = data.clone();
+        Transform2d::new(nx, ny).dst3_x(&mut fast);
+        let slow = naive_2d(&data, nx, ny, reference::naive_dst3, reference::naive_dct3);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dst3_y_matches_naive_separable() {
+        let (nx, ny) = (4, 16);
+        let data = grid(nx, ny);
+        let mut fast = data.clone();
+        Transform2d::new(nx, ny).dst3_y(&mut fast);
+        let slow = naive_2d(&data, nx, ny, reference::naive_dct3, reference::naive_dst3);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rectangular_grids_round_trip() {
+        for &(nx, ny) in &[(2usize, 8usize), (8, 2), (16, 4)] {
+            let data = grid(nx, ny);
+            let mut t = Transform2d::new(nx, ny);
+            let mut work = data.clone();
+            t.dct2(&mut work);
+            t.dct3(&mut work);
+            let scale = (nx as f64 / 2.0) * (ny as f64 / 2.0);
+            for (a, b) in work.iter().zip(&data) {
+                assert!((a - scale * b).abs() < 1e-9, "{nx}x{ny}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_mode_synthesis() {
+        // Putting one coefficient into the (u,v)=(2,1) slot and running the
+        // cos·cos synthesis reproduces the analytic eigenfunction.
+        let (nx, ny) = (8, 8);
+        let mut t = Transform2d::new(nx, ny);
+        let mut coeffs = vec![0.0; nx * ny];
+        coeffs[ny_index(2, 1, nx)] = 1.0;
+        t.dct3(&mut coeffs);
+        for iy in 0..ny {
+            for ix in 0..nx {
+                let expect = (PI * 2.0 * (2 * ix + 1) as f64 / (2 * nx) as f64).cos()
+                    * (PI * 1.0 * (2 * iy + 1) as f64 / (2 * ny) as f64).cos();
+                assert!((coeffs[iy * nx + ix] - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    fn ny_index(u: usize, v: usize, nx: usize) -> usize {
+        v * nx + u
+    }
+
+    #[test]
+    #[should_panic(expected = "differs from")]
+    fn wrong_buffer_panics() {
+        let mut t = Transform2d::new(4, 4);
+        let mut bad = vec![0.0; 10];
+        t.dct2(&mut bad);
+    }
+
+    #[test]
+    fn accessors() {
+        let t = Transform2d::new(4, 8);
+        assert_eq!(t.nx(), 4);
+        assert_eq!(t.ny(), 8);
+    }
+}

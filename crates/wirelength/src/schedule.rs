@@ -1,0 +1,102 @@
+/// The wirelength smoothing schedule for `γ` (paper footnote 1; details from
+/// the companion ePlace journal version).
+///
+/// The smoothing parameter is tied to the density overflow `τ`: while the
+/// placement is dense (`τ` near 1) a large `γ` keeps the cost surface smooth
+/// and gradients informative; as overlap is resolved `γ` tightens so the WA
+/// model tracks true HPWL. The schedule is exponential in `τ`:
+///
+/// ```text
+/// γ(τ) = 8·w_b·10^(k·τ + b),  k = 20/9, b = −11/9
+/// ```
+///
+/// where `w_b` is the bin width, giving `γ = 80·w_b` at `τ = 1` and
+/// `γ = 0.8·w_b` at `τ = 0.1` (the mGP stopping overflow).
+///
+/// # Examples
+///
+/// ```
+/// use eplace_wirelength::GammaSchedule;
+///
+/// let sched = GammaSchedule::new(4.0); // bin width 4
+/// assert!((sched.gamma(1.0) - 320.0).abs() < 1e-9);
+/// assert!((sched.gamma(0.1) - 3.2).abs() < 1e-9);
+/// assert!(sched.gamma(0.5) < sched.gamma(0.9));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GammaSchedule {
+    bin_width: f64,
+}
+
+impl GammaSchedule {
+    /// Exponent slope: chosen so γ spans a factor of 100 between τ = 0.1
+    /// and τ = 1.
+    pub const K: f64 = 20.0 / 9.0;
+    /// Exponent intercept.
+    pub const B: f64 = -11.0 / 9.0;
+
+    /// Creates a schedule anchored to the density grid's bin width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_width` is not positive.
+    pub fn new(bin_width: f64) -> Self {
+        assert!(bin_width > 0.0, "bin width must be positive");
+        GammaSchedule { bin_width }
+    }
+
+    /// γ for density overflow `tau` (clamped into `[0, 1]`).
+    pub fn gamma(&self, tau: f64) -> f64 {
+        let t = tau.clamp(0.0, 1.0);
+        8.0 * self.bin_width * 10f64.powf(Self::K * t + Self::B)
+    }
+
+    /// The bin width this schedule is anchored to.
+    pub fn bin_width(&self) -> f64 {
+        self.bin_width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_values() {
+        let s = GammaSchedule::new(1.0);
+        assert!((s.gamma(1.0) - 80.0).abs() < 1e-9);
+        assert!((s.gamma(0.1) - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotone_in_overflow() {
+        let s = GammaSchedule::new(2.0);
+        let mut prev = 0.0;
+        for i in 0..=10 {
+            let g = s.gamma(i as f64 / 10.0);
+            assert!(g > prev);
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn clamps_out_of_range_overflow() {
+        let s = GammaSchedule::new(1.0);
+        assert_eq!(s.gamma(2.0), s.gamma(1.0));
+        assert_eq!(s.gamma(-0.5), s.gamma(0.0));
+    }
+
+    #[test]
+    fn scales_linearly_with_bin_width() {
+        let a = GammaSchedule::new(1.0);
+        let b = GammaSchedule::new(4.0);
+        assert!((b.gamma(0.5) / a.gamma(0.5) - 4.0).abs() < 1e-12);
+        assert_eq!(b.bin_width(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bin_width_panics() {
+        let _ = GammaSchedule::new(0.0);
+    }
+}

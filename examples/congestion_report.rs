@@ -1,0 +1,51 @@
+//! Routability extension (the paper's §VIII future work): estimate routing
+//! congestion with a RUDY map before and after placement, showing how
+//! ePlace's spreading also evens out routing demand.
+//!
+//! ```sh
+//! cargo run --release --example congestion_report
+//! ```
+
+use eplace_repro::benchgen::BenchmarkConfig;
+use eplace_repro::core::{EplaceConfig, Placer};
+use eplace_repro::density::CongestionMap;
+
+fn main() {
+    let design = BenchmarkConfig::ispd05_like("congestion", 13).scale(600).generate();
+
+    let before = CongestionMap::rudy(&design, 24, 24, 1.0);
+    println!("before placement (random scatter):");
+    report(&before);
+
+    let mut placer = Placer::new(design, EplaceConfig::fast());
+    let run = placer.run();
+    println!(
+        "\nplaced: HPWL {:.4e}, overflow {:.3}",
+        run.final_hpwl, run.final_overflow
+    );
+
+    let after = CongestionMap::rudy(placer.design(), 24, 24, 1.0);
+    println!("\nafter placement:");
+    report(&after);
+
+    println!("\ncongestion heat map (after):");
+    let peak = after.peak().max(1e-12);
+    for iy in (0..after.ny()).rev() {
+        let line: String = (0..after.nx())
+            .map(|ix| shade(after.demand_map()[iy * after.nx() + ix] / peak))
+            .collect();
+        println!("{line}");
+    }
+}
+
+fn report(map: &CongestionMap) {
+    println!("  mean demand    : {:.3}", map.mean());
+    println!("  peak demand    : {:.3}", map.peak());
+    println!("  hotspot ratio  : {:.3} (top-10% bins / mean)", map.hotspot_ratio());
+}
+
+fn shade(v: f64) -> char {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let k = ((v.clamp(0.0, 1.0)) * (RAMP.len() - 1) as f64).round() as usize;
+    RAMP[k] as char
+}

@@ -1,0 +1,155 @@
+//! `eplace-repro` — command-line placer.
+//!
+//! Reads a Bookshelf benchmark (`.aux`), runs the full ePlace flow, writes
+//! the placed `.pl`, and prints a placement report. Without `--aux` it
+//! demonstrates on a generated circuit.
+//!
+//! ```sh
+//! eplace-repro --aux adaptec1.aux --out adaptec1_eplace.pl [--rho 0.5] [--fast]
+//! eplace-repro --demo 1000
+//! ```
+
+use eplace_repro::benchgen::BenchmarkConfig;
+use eplace_repro::bookshelf::{read_aux, write_pl};
+use eplace_repro::core::{EplaceConfig, Placer, Stage};
+use eplace_repro::legalize::check_legal;
+use eplace_repro::netlist::{Design, DesignStats};
+use std::error::Error;
+use std::process::ExitCode;
+
+struct Args {
+    aux: Option<String>,
+    out: Option<String>,
+    rho: Option<f64>,
+    demo: usize,
+    fast: bool,
+    trace_csv: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        aux: None,
+        out: None,
+        rho: None,
+        demo: 500,
+        fast: false,
+        trace_csv: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("flag {name} needs a value"))
+        };
+        match flag.as_str() {
+            "--aux" => args.aux = Some(value("--aux")?),
+            "--out" => args.out = Some(value("--out")?),
+            "--rho" => {
+                args.rho = Some(
+                    value("--rho")?
+                        .parse()
+                        .map_err(|e| format!("bad --rho: {e}"))?,
+                )
+            }
+            "--demo" => {
+                args.demo = value("--demo")?
+                    .parse()
+                    .map_err(|e| format!("bad --demo: {e}"))?
+            }
+            "--fast" => args.fast = true,
+            "--trace-csv" => args.trace_csv = Some(value("--trace-csv")?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: eplace-repro [--aux FILE.aux] [--out FILE.pl] [--rho RHO_T] \
+                     [--demo N_CELLS] [--fast] [--trace-csv FILE]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn load_design(args: &Args) -> Result<Design, Box<dyn Error>> {
+    let mut design = match &args.aux {
+        Some(path) => read_aux(path)?,
+        None => {
+            eprintln!("no --aux given; generating a {}-cell demo circuit", args.demo);
+            BenchmarkConfig::ispd05_like("demo", 42).scale(args.demo).generate()
+        }
+    };
+    if let Some(rho) = args.rho {
+        design.target_density = rho; // ISPD 2006 ships ρ_t out of band
+    }
+    Ok(design)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let design = match load_design(&args) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("{}", DesignStats::of(&design));
+
+    let config = if args.fast {
+        EplaceConfig::fast()
+    } else {
+        EplaceConfig::default()
+    };
+    let mut placer = Placer::new(design, config);
+    let report = placer.run();
+
+    println!("final HPWL        : {:.6e}", report.final_hpwl);
+    println!("scaled HPWL       : {:.6e}", report.scaled_hpwl);
+    println!("density overflow  : {:.4}", report.final_overflow);
+    println!(
+        "mGP               : {} iterations, converged: {}",
+        report.mgp_iterations, report.mgp_converged
+    );
+    if let Some(mlg) = &report.mlg {
+        println!(
+            "mLG               : O_m {:.3e} -> {:.3e} (legal: {})",
+            mlg.macro_overlap_before, mlg.macro_overlap_after, mlg.legalized
+        );
+    }
+    for stage in [Stage::Mip, Stage::Mgp, Stage::Mlg, Stage::Cgp, Stage::Cdp] {
+        let s = report.stage_seconds(stage);
+        if s > 0.0 {
+            println!("{stage:>18}: {s:.2}s");
+        }
+    }
+    match check_legal(placer.design()) {
+        Ok(()) => println!("legality          : OK"),
+        Err(e) => {
+            println!("legality          : VIOLATED ({e})");
+        }
+    }
+
+    if let Some(path) = &args.trace_csv {
+        let csv = eplace_repro::core::trace_to_csv(&report.trace);
+        if let Err(e) = std::fs::write(path, csv) {
+            eprintln!("error writing trace: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("trace written to {path}");
+    }
+    if let Some(out) = &args.out {
+        if let Err(e) = write_pl(placer.design(), out) {
+            eprintln!("error writing .pl: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("solution written to {out}");
+    }
+    ExitCode::SUCCESS
+}
