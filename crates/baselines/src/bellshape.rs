@@ -52,8 +52,7 @@ impl GlobalPlacer for BellshapePlacer {
         let mut line_search = std::time::Duration::ZERO;
         if n > 0 {
             let dim = grid_dimension(n, 8, 128);
-            let mut bell =
-                BellShapeDensity::new(design.region, dim, dim, design.target_density);
+            let mut bell = BellShapeDensity::new(design.region, dim, dim, design.target_density);
             for c in design.cells.iter().filter(|c| c.fixed) {
                 bell.add_fixed(c.rect());
             }
@@ -66,12 +65,11 @@ impl GlobalPlacer for BellshapePlacer {
             let mut full_grad = vec![Point::ORIGIN; design.cells.len()];
 
             // μ₀ balances initial gradient magnitudes.
-            let sync =
-                |full: &mut Vec<Point>, pos: &[Point]| {
-                    for (k, &ci) in movables.iter().enumerate() {
-                        full[ci] = pos[k];
-                    }
-                };
+            let sync = |full: &mut Vec<Point>, pos: &[Point]| {
+                for (k, &ci) in movables.iter().enumerate() {
+                    full[ci] = pos[k];
+                }
+            };
             sync(&mut full_pos, &pos);
             bell.accumulate(&sizes, &pos);
             let wl0 = lse.gradient(design, &full_pos, gamma, &mut full_grad);
@@ -85,7 +83,11 @@ impl GlobalPlacer for BellshapePlacer {
                     g.x.abs() + g.y.abs()
                 })
                 .sum();
-            let mut mu = if bell_l1 > 1e-30 { wl_l1 / bell_l1 } else { 1.0 };
+            let mut mu = if bell_l1 > 1e-30 {
+                wl_l1 / bell_l1
+            } else {
+                1.0
+            };
             let _ = wl0;
 
             let mut grad = vec![Point::ORIGIN; n];
@@ -147,8 +149,7 @@ impl GlobalPlacer for BellshapePlacer {
                             full_pos[ci] = trial[k];
                         }
                         bell.accumulate(&sizes, &trial);
-                        let f_new = lse.evaluate(design, &full_pos, gamma)
-                            + mu * bell.penalty();
+                        let f_new = lse.evaluate(design, &full_pos, gamma) + mu * bell.penalty();
                         if f_new <= f_curr + 1e-4 * t * slope || f_new < f_curr {
                             accepted = true;
                             f_curr = f_new;
@@ -179,12 +180,15 @@ impl GlobalPlacer for BellshapePlacer {
                         .map(|(gn, go)| gn.dot(*gn - *go))
                         .sum();
                     let den: f64 = grad_prev.iter().map(|v| v.norm_sq()).sum();
-                    let beta = if den > 1e-30 { (num / den).max(0.0) } else { 0.0 };
+                    let beta = if den > 1e-30 {
+                        (num / den).max(0.0)
+                    } else {
+                        0.0
+                    };
                     for i in 0..n {
                         dir[i] = -grad[i] + dir[i] * beta;
                     }
-                    let descent: f64 =
-                        grad.iter().zip(&dir).map(|(a, b)| a.dot(*b)).sum();
+                    let descent: f64 = grad.iter().zip(&dir).map(|(a, b)| a.dot(*b)).sum();
                     if descent >= 0.0 {
                         for i in 0..n {
                             dir[i] = -grad[i];

@@ -58,8 +58,7 @@ impl GlobalPlacer for CgPlacer {
         let mut iterations = 0;
         if n > 0 {
             let cfg = EplaceConfig::fast();
-            let dim =
-                eplace_density::grid_dimension(n, cfg.grid_min, cfg.grid_max);
+            let dim = eplace_density::grid_dimension(n, cfg.grid_min, cfg.grid_max);
             // FFTPL predates the preconditioner (§V-D: "zero attempts in
             // nonlinear placers").
             let mut cost = EplaceCost::new(design, &problem, dim, dim, false);
@@ -127,7 +126,11 @@ impl GlobalPlacer for CgPlacer {
                     .map(|(gn, go)| gn.dot(*gn - *go))
                     .sum();
                 let den: f64 = g_prev.iter().map(|v| v.norm_sq()).sum();
-                let beta = if den > 1e-30 { (num / den).max(0.0) } else { 0.0 };
+                let beta = if den > 1e-30 {
+                    (num / den).max(0.0)
+                } else {
+                    0.0
+                };
                 for i in 0..n {
                     dir[i] = -g[i] + dir[i] * beta;
                 }

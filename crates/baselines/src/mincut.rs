@@ -302,7 +302,11 @@ impl Subproblem {
                 if locked[k] {
                     continue;
                 }
-                let delta = if work[k] { -2.0 * area(k) } else { 2.0 * area(k) };
+                let delta = if work[k] {
+                    -2.0 * area(k)
+                } else {
+                    2.0 * area(k)
+                };
                 if (imbalance + delta).abs() > max_imbalance.max(2.0 * area(k)) {
                     continue;
                 }
@@ -312,7 +316,11 @@ impl Subproblem {
                 }
             }
             let Some((gain, k)) = best else { break };
-            imbalance += if work[k] { -2.0 * area(k) } else { 2.0 * area(k) };
+            imbalance += if work[k] {
+                -2.0 * area(k)
+            } else {
+                2.0 * area(k)
+            };
             work[k] = !work[k];
             locked[k] = true;
             moves.push(k);
@@ -389,8 +397,11 @@ mod tests {
                 }
             }
         }
-        b.add_net("bridge", vec![(ids[0], Point::ORIGIN), (ids[4], Point::ORIGIN)]);
-        let mut d = b.build();
+        b.add_net(
+            "bridge",
+            vec![(ids[0], Point::ORIGIN), (ids[4], Point::ORIGIN)],
+        );
+        let d = b.build();
         // Adversarial start: interleaved sides.
         let order: Vec<usize> = (0..8).collect();
         let mut side: Vec<bool> = (0..8).map(|k| k % 2 == 1).collect();
@@ -450,7 +461,9 @@ mod tests {
 
     #[test]
     fn mincut_improves_over_random_scatter() {
-        let mut d = BenchmarkConfig::ispd05_like("mc", 100).scale(300).generate();
+        let mut d = BenchmarkConfig::ispd05_like("mc", 100)
+            .scale(300)
+            .generate();
         let scattered_hpwl = d.hpwl();
         let result = MincutPlacer::default().global_place(&mut d);
         assert!(
@@ -463,7 +476,9 @@ mod tests {
 
     #[test]
     fn leaf_placement_spreads_cells() {
-        let mut d = BenchmarkConfig::ispd05_like("mc", 101).scale(200).generate();
+        let mut d = BenchmarkConfig::ispd05_like("mc", 101)
+            .scale(200)
+            .generate();
         MincutPlacer::default().global_place(&mut d);
         // Overflow should be moderate: min-cut spreads by construction.
         let overflow = measure_overflow(&d);

@@ -115,9 +115,7 @@ impl QuadraticPlacer {
         if cells.len() <= self.leaf_size || region.width() < 1.0 || region.height() < 1.0 {
             let k = (cells.len() as f64).sqrt().ceil() as usize;
             // Leaf: order-preserving grid fill.
-            cells.sort_by(|&a, &b| {
-                design.cells[a].pos.x.total_cmp(&design.cells[b].pos.x)
-            });
+            cells.sort_by(|&a, &b| design.cells[a].pos.x.total_cmp(&design.cells[b].pos.x));
             for (i, &c) in cells.iter().enumerate() {
                 let ix = i % k;
                 let iy = i / k;

@@ -3,47 +3,46 @@
 //! The paper's claims: Nesterov converges with one gradient per iteration
 //! while line search consumes >60 % of CG's runtime.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use eplace_baselines::{CgPlacer, GlobalPlacer};
+use eplace_bench::timing::bench;
 use eplace_benchgen::BenchmarkConfig;
 use eplace_core::{
-    initial_placement, insert_fillers, run_global_placement, EplaceConfig, PlacementProblem,
-    Stage,
+    initial_placement, insert_fillers, run_global_placement, EplaceConfig, PlacementProblem, Stage,
 };
 
 const CELLS: usize = 800;
 
-fn bench_nesterov(c: &mut Criterion) {
-    let mut group = c.benchmark_group("global_placement");
-    group.sample_size(10);
-    group.bench_function("nesterov_eplace", |b| {
-        b.iter(|| {
-            let mut d = BenchmarkConfig::ispd05_like("vs", 9).scale(CELLS).generate();
-            initial_placement(&mut d);
-            insert_fillers(&mut d, 9);
-            let problem = PlacementProblem::all_movables(&d);
-            let mut trace = Vec::new();
-            run_global_placement(
-                &mut d,
-                &problem,
-                &EplaceConfig::fast(),
-                Stage::Mgp,
-                None,
-                None,
-                &mut trace,
-            )
-        })
+fn main() {
+    println!("global_placement");
+    bench("nesterov_eplace", 10, || {
+        let mut d = BenchmarkConfig::ispd05_like("vs", 9)
+            .scale(CELLS)
+            .generate();
+        initial_placement(&mut d);
+        insert_fillers(&mut d, 9);
+        let problem = PlacementProblem::all_movables(&d);
+        let mut trace = Vec::new();
+        run_global_placement(
+            &mut d,
+            &problem,
+            &EplaceConfig::fast(),
+            Stage::Mgp,
+            None,
+            None,
+            &mut trace,
+        )
     });
-    group.bench_function("cg_line_search_fftpl", |b| {
-        b.iter(|| {
-            let mut d = BenchmarkConfig::ispd05_like("vs", 9).scale(CELLS).generate();
-            CgPlacer::default().global_place(&mut d)
-        })
+    bench("cg_line_search_fftpl", 10, || {
+        let mut d = BenchmarkConfig::ispd05_like("vs", 9)
+            .scale(CELLS)
+            .generate();
+        CgPlacer::default().global_place(&mut d)
     });
-    group.finish();
 
     // One-shot line-search share report (the >60 % claim).
-    let mut d = BenchmarkConfig::ispd05_like("vs", 9).scale(CELLS).generate();
+    let mut d = BenchmarkConfig::ispd05_like("vs", 9)
+        .scale(CELLS)
+        .generate();
     let r = CgPlacer::default().global_place(&mut d);
     eprintln!(
         "CG line-search share: {:.1}% of {:.2}s (paper: >60% of FFTPL runtime)",
@@ -51,6 +50,3 @@ fn bench_nesterov(c: &mut Criterion) {
         r.seconds
     );
 }
-
-criterion_group!(benches, bench_nesterov);
-criterion_main!(benches);

@@ -1,49 +1,51 @@
-//! Criterion benches of the spectral substrate: the FFT/DCT kernels whose
-//! O(n log n) scaling underwrites the paper's density-solve complexity
-//! claim (§IV).
+//! Timings of the spectral substrate: the FFT/DCT kernels whose O(n log n)
+//! scaling underwrites the paper's density-solve complexity claim (§IV),
+//! plus the 2-D transform round in serial and row/column-parallel form.
+//!
+//! Thread count comes from `EPLACE_BENCH_THREADS` (default: all hardware
+//! threads). On a single-core host the parallel variant measures pure
+//! spawn/partition overhead, so expect speedups ≤ 1 there.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eplace_bench::timing::{bench, report_speedup};
+use eplace_exec::ExecConfig;
 use eplace_spectral::{Complex, DctPlan, FftPlan, Transform2d};
 use std::hint::black_box;
 
-fn bench_fft(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fft_forward");
+fn bench_fft() {
+    println!("fft_forward");
     for &n in &[256usize, 1024, 4096] {
         let plan = FftPlan::new(n);
         let data: Vec<Complex> = (0..n)
             .map(|i| Complex::new((i as f64).sin(), (i as f64).cos()))
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                let mut buf = data.clone();
-                plan.forward(black_box(&mut buf));
-                buf
-            })
+        bench(&format!("fft_forward/{n}"), 50, || {
+            let mut buf = data.clone();
+            plan.forward(black_box(&mut buf));
+            buf
         });
     }
-    group.finish();
 }
 
-fn bench_dct(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dct2");
+fn bench_dct() {
+    println!("dct2");
     for &n in &[256usize, 1024] {
         let plan = DctPlan::new(n);
         let data: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| plan.dct2(black_box(&data)))
-        });
+        bench(&format!("dct2/{n}"), 50, || plan.dct2(black_box(&data)));
     }
-    group.finish();
 }
 
-fn bench_transform2d(c: &mut Criterion) {
-    let mut group = c.benchmark_group("poisson_transform_round");
-    group.sample_size(20);
-    for &n in &[64usize, 128, 256] {
-        let mut t = Transform2d::new(n, n);
+fn bench_transform2d() {
+    let exec = match std::env::var("EPLACE_BENCH_THREADS") {
+        Ok(v) => ExecConfig::with_threads(v.parse().expect("bad EPLACE_BENCH_THREADS")),
+        Err(_) => ExecConfig::auto(),
+    };
+    println!("poisson_transform_round");
+    for &n in &[64usize, 128, 256, 512] {
         let data: Vec<f64> = (0..n * n).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
+        let run = |label: &str, exec: ExecConfig| {
+            let mut t = Transform2d::new(n, n).with_exec(exec);
+            bench(&format!("{label}/{n}x{n}"), 20, || {
                 // One density-solve's worth of transforms: analysis + three
                 // syntheses.
                 let mut a = data.clone();
@@ -56,10 +58,15 @@ fn bench_transform2d(c: &mut Criterion) {
                 t.dst3_y(&mut fy);
                 (psi, fx, fy)
             })
-        });
+        };
+        let serial = run("serial", ExecConfig::serial());
+        let parallel = run(&format!("threads={}", exec.threads()), exec);
+        report_speedup(&format!("transform_round/{n}x{n}"), &serial, &parallel);
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_fft, bench_dct, bench_transform2d);
-criterion_main!(benches);
+fn main() {
+    bench_fft();
+    bench_dct();
+    bench_transform2d();
+}

@@ -1,27 +1,20 @@
-//! Criterion timings behind the tables' "Average Runtime" rows: each placer
+//! Timings behind the tables' "Average Runtime" rows: each placer
 //! end-to-end (global placement + identical discrete finish) on one
 //! ISPD-2005-like circuit.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use eplace_bench::timing::bench;
 use eplace_bench::{all_baselines, run_baseline, run_eplace};
 use eplace_benchgen::BenchmarkConfig;
 use eplace_core::EplaceConfig;
 
-fn bench_placers(c: &mut Criterion) {
+fn main() {
     let config = BenchmarkConfig::ispd05_like("adaptec1_like", 1_000).scale(400);
     let eplace_cfg = EplaceConfig::fast();
-    let mut group = c.benchmark_group("table1_runtime");
-    group.sample_size(10);
-    group.bench_function("ePlace", |b| {
-        b.iter(|| run_eplace(&config, &eplace_cfg))
-    });
+    println!("table1_runtime");
+    bench("ePlace", 10, || run_eplace(&config, &eplace_cfg));
     for placer in all_baselines() {
-        group.bench_function(placer.name(), |b| {
-            b.iter(|| run_baseline(placer.as_ref(), &config, &eplace_cfg))
+        bench(placer.name(), 10, || {
+            run_baseline(placer.as_ref(), &config, &eplace_cfg)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_placers);
-criterion_main!(benches);

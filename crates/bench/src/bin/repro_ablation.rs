@@ -63,8 +63,7 @@ fn main() {
         .find(|(k, _)| k == "circuits")
         .and_then(|(_, v)| v.parse().ok())
         .unwrap_or(6);
-    let suite: Vec<BenchmarkConfig> =
-        BenchmarkSuite::mms(scale).into_iter().take(take).collect();
+    let suite: Vec<BenchmarkConfig> = BenchmarkSuite::mms(scale).into_iter().take(take).collect();
     let base = EplaceConfig::fast();
 
     // Reference runs with everything enabled.

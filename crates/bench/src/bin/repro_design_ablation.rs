@@ -24,10 +24,7 @@ fn main() {
     let run = |name: &str, cfg: &EplaceConfig| {
         eprintln!("  {name} ...");
         let r = run_eplace(&config, cfg);
-        println!(
-            "{name},{:.4e},{:.4},{:.2}",
-            r.hpwl, r.overflow, r.seconds
-        );
+        println!("{name},{:.4e},{:.4},{:.2}", r.hpwl, r.overflow, r.seconds);
     };
 
     run("baseline(abacus)", &base);

@@ -28,7 +28,5 @@ fn main() {
         mlg.outer_iterations,
         mlg.moves_accepted as f64 / mlg.moves_attempted.max(1) as f64
     );
-    eprintln!(
-        "paper shape (Fig. 5, ADAPTEC1): W 63.37e6 -> 64.36e6 (small rise), O_m 6.1e5 -> 0"
-    );
+    eprintln!("paper shape (Fig. 5, ADAPTEC1): W 63.37e6 -> 64.36e6 (small rise), O_m 6.1e5 -> 0");
 }

@@ -16,7 +16,10 @@ fn main() {
         .and_then(|(_, v)| v.parse().ok())
         .unwrap_or(4);
     let suite: Vec<_> = BenchmarkSuite::mms(scale).into_iter().take(take).collect();
-    eprintln!("Figure 7 reproduction over {} MMS-like circuits", suite.len());
+    eprintln!(
+        "Figure 7 reproduction over {} MMS-like circuits",
+        suite.len()
+    );
     let cfg = EplaceConfig::fast();
     let mut stage_totals: Vec<(Stage, f64)> = vec![
         (Stage::Mip, 0.0),
@@ -45,8 +48,16 @@ fn main() {
         println!("{stage},{s:.3},{:.1}", 100.0 * s / total.max(1e-12));
     }
     let mgp_total = (density + wirelength + other).max(1e-12);
-    println!("mgp_density,{density:.3},{:.1}", 100.0 * density / mgp_total);
-    println!("mgp_wirelength,{wirelength:.3},{:.1}", 100.0 * wirelength / mgp_total);
+    println!(
+        "mgp_density,{density:.3},{:.1}",
+        100.0 * density / mgp_total
+    );
+    println!(
+        "mgp_wirelength,{wirelength:.3},{:.1}",
+        100.0 * wirelength / mgp_total
+    );
     println!("mgp_other,{other:.3},{:.1}", 100.0 * other / mgp_total);
-    eprintln!("paper shape: mGP dominates the flow; inside mGP density 57% / wirelength 29% / other 14%");
+    eprintln!(
+        "paper shape: mGP dominates the flow; inside mGP density 57% / wirelength 29% / other 14%"
+    );
 }

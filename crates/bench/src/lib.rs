@@ -5,6 +5,8 @@
 //! (see DESIGN.md §3 for the index); this library holds the plumbing so the
 //! binaries stay declarative.
 
+pub mod timing;
+
 use eplace_baselines::{
     measure_overflow, BellshapePlacer, CgPlacer, GlobalPlacer, MincutPlacer, QuadraticPlacer,
 };
@@ -126,10 +128,7 @@ pub fn all_baselines() -> Vec<Box<dyn GlobalPlacer>> {
 }
 
 /// Runs every placer (baselines + ePlace) over every circuit of a suite.
-pub fn run_suite(
-    configs: &[BenchmarkConfig],
-    eplace_cfg: &EplaceConfig,
-) -> Vec<FlowResult> {
+pub fn run_suite(configs: &[BenchmarkConfig], eplace_cfg: &EplaceConfig) -> Vec<FlowResult> {
     let baselines = all_baselines();
     let mut rows = Vec::new();
     for config in configs {
@@ -157,11 +156,7 @@ pub fn format_table(results: &[FlowResult], metric: Metric) -> String {
             placers.push(&r.placer);
         }
     }
-    let get = |c: &str, p: &str| {
-        results
-            .iter()
-            .find(|r| r.circuit == c && r.placer == p)
-    };
+    let get = |c: &str, p: &str| results.iter().find(|r| r.circuit == c && r.placer == p);
     let mut out = String::new();
     out.push_str(&format!("{:<18}", "circuit"));
     for p in &placers {
@@ -299,7 +294,10 @@ pub fn filter_suite(
 /// Generates a circuit, runs mIP+mGP only (the state Figures 3/5 start
 /// from), and returns the design plus the placer report. Used by the figure
 /// binaries that need mid-flow states.
-pub fn design_after_full_flow(config: &BenchmarkConfig, cfg: &EplaceConfig) -> (Design, eplace_core::PlacementReport) {
+pub fn design_after_full_flow(
+    config: &BenchmarkConfig,
+    cfg: &EplaceConfig,
+) -> (Design, eplace_core::PlacementReport) {
     let design = config.generate();
     let mut placer = Placer::new(design, cfg.clone());
     let report = placer.run();

@@ -76,12 +76,7 @@ impl BenchmarkConfig {
     /// An MMS-like circuit: same netlist statistics but with
     /// `movable_macros` freed and fixed IO blocks inserted (the MMS suites
     /// are ISPD netlists with macros freed \[21\]).
-    pub fn mms_like(
-        name: impl Into<String>,
-        seed: u64,
-        rho_t: f64,
-        movable_macros: usize,
-    ) -> Self {
+    pub fn mms_like(name: impl Into<String>, seed: u64, rho_t: f64, movable_macros: usize) -> Self {
         BenchmarkConfig {
             movable_macros,
             fixed_macros: 0,

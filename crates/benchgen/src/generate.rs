@@ -1,8 +1,8 @@
 use crate::BenchmarkConfig;
 use eplace_geometry::{Point, Rect};
 use eplace_netlist::{CellId, CellKind, Design, DesignBuilder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use eplace_prng::rngs::StdRng;
+use eplace_prng::{Rng, SeedableRng};
 
 /// Standard-cell row height in layout units (ISPD circuits use 12).
 const ROW_HEIGHT: f64 = 12.0;
@@ -67,11 +67,10 @@ pub(crate) fn generate_design(cfg: &BenchmarkConfig) -> Design {
     // macros interleaved (macros inherit locality like any other object —
     // the ePlace premise that everything is handled identically).
     let mut pool: Vec<CellId> = Vec::with_capacity(cfg.std_cells + cfg.movable_macros);
-    let macro_stride = if cfg.movable_macros > 0 {
-        (cfg.std_cells / cfg.movable_macros).max(1)
-    } else {
-        usize::MAX
-    };
+    let macro_stride = cfg
+        .std_cells
+        .checked_div(cfg.movable_macros)
+        .map_or(usize::MAX, |s| s.max(1));
     let mut macro_iter = movable_macro_sizes.iter().enumerate();
     for (i, &w) in std_widths.iter().enumerate() {
         if i % macro_stride == macro_stride - 1 {
@@ -326,12 +325,18 @@ mod tests {
         assert_eq!(s.terminals, 64);
         assert!(d.validate().is_ok());
         // Utilization close to the configured value.
-        assert!((d.utilization() - 0.65).abs() < 0.1, "util {}", d.utilization());
+        assert!(
+            (d.utilization() - 0.65).abs() < 0.1,
+            "util {}",
+            d.utilization()
+        );
     }
 
     #[test]
     fn mms_like_has_movable_macros() {
-        let d = BenchmarkConfig::mms_like("m", 4, 0.8, 8).scale(400).generate();
+        let d = BenchmarkConfig::mms_like("m", 4, 0.8, 8)
+            .scale(400)
+            .generate();
         let s = DesignStats::of(&d);
         assert_eq!(s.movable_macros, 8);
         assert_eq!(d.target_density, 0.8);

@@ -98,8 +98,7 @@ impl BenchmarkSuite {
                     .max(8)
                     .min(cells / 25)
                     .min(*macs);
-                BenchmarkConfig::mms_like(*name, 3_000 + i as u64, *rho, macros.max(4))
-                    .scale(cells)
+                BenchmarkConfig::mms_like(*name, 3_000 + i as u64, *rho, macros.max(4)).scale(cells)
             })
             .collect()
     }

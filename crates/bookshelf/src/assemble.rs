@@ -72,7 +72,10 @@ pub fn assemble_design(
             CellKind::StdCell
         };
         let id = builder.add_cell(rec.name.clone(), rec.width, rec.height, kind);
-        if ids.insert(rec.name.clone(), (id, rec.width, rec.height)).is_some() {
+        if ids
+            .insert(rec.name.clone(), (id, rec.width, rec.height))
+            .is_some()
+        {
             return Err(BookshelfError::parse(
                 "nodes",
                 0,
@@ -125,8 +128,7 @@ mod tests {
             "NumNodes : 4\nNumTerminals : 1\na 4 12\nb 6 12\nm 40 36\nio 2 2 terminal\n",
         )
         .unwrap();
-        let nets =
-            parse_nets("NetDegree : 3 n0\n a I : 1 0\n b O : -1 0\n io B : 0 0\n").unwrap();
+        let nets = parse_nets("NetDegree : 3 n0\n a I : 1 0\n b O : -1 0\n io B : 0 0\n").unwrap();
         let pl = parse_pl("a 0 0 : N\nb 10 0 : N\nm 50 50 : N\nio 0 100 : N /FIXED\n").unwrap();
         let scl = parse_scl(
             "CoreRow Horizontal\n Coordinate : 0\n Height : 12\n Sitewidth : 1\n SubrowOrigin : 0 NumSites : 200\nEnd\nCoreRow Horizontal\n Coordinate : 12\n Height : 12\n Sitewidth : 1\n SubrowOrigin : 0 NumSites : 200\nEnd\n",
@@ -192,8 +194,6 @@ mod tests {
     #[test]
     fn no_rows_errors() {
         let nodes = parse_nodes("a 1 1\n").unwrap();
-        assert!(
-            assemble_design("t", nodes, NetsFile::default(), vec![], vec![], vec![]).is_err()
-        );
+        assert!(assemble_design("t", nodes, NetsFile::default(), vec![], vec![], vec![]).is_err());
     }
 }

@@ -28,12 +28,15 @@ pub struct NodesFile {
     pub num_terminals: usize,
 }
 
-/// Parsed `.nets` file: per net, a name and `(node name, x offset, y offset)`
-/// pin triples. Offsets are from the node **center** per the format spec.
+/// One `.nets` pin entry: `(node name, x offset, y offset)`. Offsets are
+/// from the node **center** per the format spec.
+pub type PinEntry = (String, f64, f64);
+
+/// Parsed `.nets` file: per net, a name and its pin entries.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct NetsFile {
     /// `(net name, pins)` in file order.
-    pub nets: Vec<(String, Vec<(String, f64, f64)>)>,
+    pub nets: Vec<(String, Vec<PinEntry>)>,
 }
 
 /// One line of the `.pl` file.
@@ -213,26 +216,25 @@ pub fn parse_nets(text: &str) -> Result<NetsFile, BookshelfError> {
     let mut out = NetsFile::default();
     let mut declared_nets: Option<usize> = None;
     let mut declared_pins: Option<usize> = None;
-    let mut current: Option<(String, usize, Vec<(String, f64, f64)>)> = None;
-    let finish =
-        |cur: &mut Option<(String, usize, Vec<(String, f64, f64)>)>,
-         out: &mut NetsFile|
-         -> Result<(), BookshelfError> {
-            if let Some((name, degree, pins)) = cur.take() {
-                if pins.len() != degree {
-                    return Err(BookshelfError::parse(
-                        F,
-                        0,
-                        format!(
-                            "net `{name}` declares degree {degree} but has {} pins",
-                            pins.len()
-                        ),
-                    ));
-                }
-                out.nets.push((name, pins));
+    let mut current: Option<(String, usize, Vec<PinEntry>)> = None;
+    let finish = |cur: &mut Option<(String, usize, Vec<PinEntry>)>,
+                  out: &mut NetsFile|
+     -> Result<(), BookshelfError> {
+        if let Some((name, degree, pins)) = cur.take() {
+            if pins.len() != degree {
+                return Err(BookshelfError::parse(
+                    F,
+                    0,
+                    format!(
+                        "net `{name}` declares degree {degree} but has {} pins",
+                        pins.len()
+                    ),
+                ));
             }
-            Ok(())
-        };
+            out.nets.push((name, pins));
+        }
+        Ok(())
+    };
     for (line_no, line) in logical_lines(text) {
         // Headers also use `key : value` syntax, but so do pin lines
         // (`a I : 0.5 1.0`) — dispatch on the key name.
@@ -472,8 +474,7 @@ mod tests {
 
     #[test]
     fn aux_basic() {
-        let files =
-            parse_aux("RowBasedPlacement : a.nodes a.nets a.wts a.pl a.scl\n").unwrap();
+        let files = parse_aux("RowBasedPlacement : a.nodes a.nets a.wts a.pl a.scl\n").unwrap();
         assert_eq!(files.len(), 5);
         assert_eq!(files[0], "a.nodes");
     }

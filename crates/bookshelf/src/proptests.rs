@@ -2,59 +2,128 @@
 //! are fed — malformed input yields `Err`, not a crash.
 
 use crate::parse::{parse_aux, parse_nets, parse_nodes, parse_pl, parse_scl, parse_wts};
-use proptest::prelude::*;
+use eplace_testkit::{check, Gen};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: u64 = 128;
 
-    #[test]
-    fn parse_nodes_never_panics(text in ".{0,400}") {
-        let _ = parse_nodes(&text);
+/// Random text up to 400 chars: printable ASCII plus the separators and
+/// keyword fragments the parsers actually branch on, so fuzzing reaches past
+/// the first tokenizer error.
+fn arb_text(g: &mut Gen) -> String {
+    const POOL: &[&str] = &[
+        " ",
+        "\t",
+        "\n",
+        ":",
+        "#",
+        "-",
+        ".",
+        "0",
+        "1",
+        "9",
+        "42",
+        "3.5",
+        "-7",
+        "a",
+        "z",
+        "_",
+        "UCLA",
+        "nodes",
+        "nets",
+        "NumNodes",
+        "NumNets",
+        "NumPins",
+        "NetDegree",
+        "terminal",
+        "CoreRow",
+        "Horizontal",
+        "End",
+        "I",
+        "O",
+        "B",
+        "\u{fffd}",
+        "é",
+        "\"",
+    ];
+    let len = g.usize_range(0, 60);
+    let mut text = String::new();
+    for _ in 0..len {
+        let token = *g.choose(POOL);
+        text.push_str(token);
     }
+    text.truncate(400);
+    text
+}
 
-    #[test]
-    fn parse_nets_never_panics(text in ".{0,400}") {
-        let _ = parse_nets(&text);
-    }
+#[test]
+fn parse_nodes_never_panics() {
+    check("parse_nodes_never_panics", CASES, |g| {
+        let _ = parse_nodes(&arb_text(g));
+    });
+}
 
-    #[test]
-    fn parse_pl_never_panics(text in ".{0,400}") {
-        let _ = parse_pl(&text);
-    }
+#[test]
+fn parse_nets_never_panics() {
+    check("parse_nets_never_panics", CASES, |g| {
+        let _ = parse_nets(&arb_text(g));
+    });
+}
 
-    #[test]
-    fn parse_scl_never_panics(text in ".{0,400}") {
-        let _ = parse_scl(&text);
-    }
+#[test]
+fn parse_pl_never_panics() {
+    check("parse_pl_never_panics", CASES, |g| {
+        let _ = parse_pl(&arb_text(g));
+    });
+}
 
-    #[test]
-    fn parse_wts_never_panics(text in ".{0,400}") {
-        let _ = parse_wts(&text);
-    }
+#[test]
+fn parse_scl_never_panics() {
+    check("parse_scl_never_panics", CASES, |g| {
+        let _ = parse_scl(&arb_text(g));
+    });
+}
 
-    #[test]
-    fn parse_aux_never_panics(text in ".{0,400}") {
-        let _ = parse_aux(&text);
-    }
+#[test]
+fn parse_wts_never_panics() {
+    check("parse_wts_never_panics", CASES, |g| {
+        let _ = parse_wts(&arb_text(g));
+    });
+}
 
-    /// Structured-ish fuzzing: near-valid node files with random whitespace
-    /// and numerals either parse or fail gracefully — and when they parse,
-    /// the record count matches the line count.
-    #[test]
-    fn near_valid_nodes_roundtrip(
-        names in proptest::collection::vec("[a-z][a-z0-9]{0,8}", 1..10),
-        widths in proptest::collection::vec(1u32..500, 10),
-    ) {
+#[test]
+fn parse_aux_never_panics() {
+    check("parse_aux_never_panics", CASES, |g| {
+        let _ = parse_aux(&arb_text(g));
+    });
+}
+
+/// Structured-ish fuzzing: near-valid node files with random whitespace and
+/// numerals either parse or fail gracefully — and when they parse, the
+/// record count matches the line count.
+#[test]
+fn near_valid_nodes_roundtrip() {
+    check("near_valid_nodes_roundtrip", CASES, |g| {
+        let names: Vec<String> = g.vec(1, 9, |g| {
+            let len = g.usize_range(1, 9);
+            (0..len)
+                .map(|i| {
+                    let alphanum = "abcdefghijklmnopqrstuvwxyz0123456789";
+                    let pool = if i == 0 { &alphanum[..26] } else { alphanum };
+                    pool.as_bytes()[g.usize_range(0, pool.len() - 1)] as char
+                })
+                .collect()
+        });
+        let widths: Vec<u32> = (0..10).map(|_| g.usize_range(1, 499) as u32).collect();
         let mut text = String::from("UCLA nodes 1.0\n");
         for (i, name) in names.iter().enumerate() {
             let w = widths[i % widths.len()];
             text.push_str(&format!("  {name}_{i} {w} 12\n"));
         }
         let parsed = parse_nodes(&text).unwrap();
-        prop_assert_eq!(parsed.nodes.len(), names.len());
+        assert_eq!(parsed.nodes.len(), names.len());
         for (i, rec) in parsed.nodes.iter().enumerate() {
-            prop_assert_eq!(rec.width, widths[i % widths.len()] as f64);
-            prop_assert!(!rec.terminal);
+            assert_eq!(rec.width, widths[i % widths.len()] as f64);
+            assert!(!rec.terminal);
         }
-    }
+    });
 }

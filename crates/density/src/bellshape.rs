@@ -272,7 +272,10 @@ mod tests {
         assert!((BellShapeDensity::bell(2.0, r) - 0.5).abs() < 1e-12);
         assert_eq!(BellShapeDensity::bell(4.0, r), 0.0);
         assert_eq!(BellShapeDensity::bell(5.0, r), 0.0);
-        assert_eq!(BellShapeDensity::bell(-2.0, r), BellShapeDensity::bell(2.0, r));
+        assert_eq!(
+            BellShapeDensity::bell(-2.0, r),
+            BellShapeDensity::bell(2.0, r)
+        );
     }
 
     #[test]
@@ -280,8 +283,8 @@ mod tests {
         let r = 4.0;
         let h = 1e-7;
         for &d in &[1.0, 1.9999, 2.0001, 3.0] {
-            let fd = (BellShapeDensity::bell(d + h, r) - BellShapeDensity::bell(d - h, r))
-                / (2.0 * h);
+            let fd =
+                (BellShapeDensity::bell(d + h, r) - BellShapeDensity::bell(d - h, r)) / (2.0 * h);
             let an = BellShapeDensity::bell_deriv(d, r);
             assert!((fd - an).abs() < 1e-5, "d={d}: {fd} vs {an}");
         }

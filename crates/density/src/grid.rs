@@ -1,7 +1,17 @@
 use crate::SMOOTH_FACTOR;
+use eplace_exec::{deterministic_chunks, map_chunks, ExecConfig};
 use eplace_geometry::{overlap_1d, Point, Rect, Size};
 use eplace_spectral::Transform2d;
 use std::f64::consts::PI;
+
+/// Below this object count the deposit always runs serially: the per-chunk
+/// grid accumulators would cost more than the sweep itself.
+const DEPOSIT_MIN_CHUNK: usize = 1024;
+/// Cap on deposit chunks, bounding the transient accumulator memory to
+/// `DEPOSIT_MAX_CHUNKS` grid copies. The chunk structure depends only on the
+/// object count — never on the thread count — so parallel results are
+/// reproducible on any machine.
+const DEPOSIT_MAX_CHUNKS: usize = 8;
 
 /// A movable object as the density system sees it: a size, whether it
 /// counts toward density *overflow* (fillers do not — they are whitespace),
@@ -99,6 +109,8 @@ pub struct DensityGrid {
     /// Σ of overflow-counting movable area at the last deposit.
     movable_area: f64,
     solved: bool,
+    /// Execution policy for the deposit sweep and the spectral solve.
+    exec: ExecConfig,
 }
 
 impl DensityGrid {
@@ -136,7 +148,32 @@ impl DensityGrid {
             coeff: vec![0.0; bins],
             movable_area: 0.0,
             solved: false,
+            exec: ExecConfig::serial(),
         }
+    }
+
+    /// Sets the execution policy. Serial (the default) reproduces the
+    /// historical single-threaded results bit for bit; any parallel setting
+    /// produces one deterministic result regardless of the thread count,
+    /// because work is chunked by data size only and partial sums are merged
+    /// in chunk order. The policy propagates to the spectral transforms.
+    pub fn set_exec(&mut self, exec: ExecConfig) {
+        self.exec = exec;
+        self.transform.set_exec(exec);
+        self.transform_psi.set_exec(exec);
+        self.transform_fx.set_exec(exec);
+    }
+
+    /// Builder-style [`DensityGrid::set_exec`].
+    pub fn with_exec(mut self, exec: ExecConfig) -> Self {
+        self.set_exec(exec);
+        self
+    }
+
+    /// The current execution policy.
+    #[inline]
+    pub fn exec(&self) -> ExecConfig {
+        self.exec
     }
 
     /// Grid width in bins.
@@ -223,18 +260,72 @@ impl DensityGrid {
     ///
     /// Panics if the slices have different lengths.
     pub fn deposit(&mut self, objects: &[DensityObject], pos: &[Point]) {
-        assert_eq!(objects.len(), pos.len(), "objects/positions length mismatch");
+        assert_eq!(
+            objects.len(),
+            pos.len(),
+            "objects/positions length mismatch"
+        );
+        if self.exec.is_serial() || objects.len() < DEPOSIT_MIN_CHUNK {
+            self.deposit_serial(objects, pos);
+        } else {
+            self.deposit_parallel(objects, pos);
+        }
+        self.solved = false;
+    }
+
+    /// The historical single-threaded sweep: accumulation order is the object
+    /// order, so results are bit-identical to every prior release.
+    fn deposit_serial(&mut self, objects: &[DensityObject], pos: &[Point]) {
         self.charge.copy_from_slice(&self.fixed_charge);
         self.usage.iter_mut().for_each(|v| *v = 0.0);
         self.movable_area = 0.0;
+        let mut charge = std::mem::take(&mut self.charge);
+        let mut usage = std::mem::take(&mut self.usage);
         for (obj, &p) in objects.iter().zip(pos) {
-            self.deposit_one(obj, p);
+            self.deposit_one_into(obj, p, &mut charge);
             if obj.counts_in_overflow {
                 self.movable_area += obj.charge();
-                self.deposit_usage(obj, p);
+                self.deposit_usage_into(obj, p, &mut usage);
             }
         }
-        self.solved = false;
+        self.charge = charge;
+        self.usage = usage;
+    }
+
+    /// Chunked parallel sweep. Each chunk accumulates into its own pair of
+    /// grid buffers (never into shared bins — no atomic floats anywhere);
+    /// the partial grids are then merged *in chunk order*, so the result is
+    /// one fixed floating-point association for a given object count, no
+    /// matter how many threads executed the chunks.
+    fn deposit_parallel(&mut self, objects: &[DensityObject], pos: &[Point]) {
+        let bins = self.nx * self.ny;
+        let chunks = deterministic_chunks(objects.len(), DEPOSIT_MIN_CHUNK, DEPOSIT_MAX_CHUNKS);
+        let this: &DensityGrid = self;
+        let partials = map_chunks(&this.exec, objects.len(), chunks, |_, range| {
+            let mut charge = vec![0.0; bins];
+            let mut usage = vec![0.0; bins];
+            let mut area = 0.0;
+            for (obj, &p) in objects[range.clone()].iter().zip(&pos[range]) {
+                this.deposit_one_into(obj, p, &mut charge);
+                if obj.counts_in_overflow {
+                    area += obj.charge();
+                    this.deposit_usage_into(obj, p, &mut usage);
+                }
+            }
+            (charge, usage, area)
+        });
+        self.charge.copy_from_slice(&self.fixed_charge);
+        self.usage.iter_mut().for_each(|v| *v = 0.0);
+        self.movable_area = 0.0;
+        for (charge, usage, area) in partials {
+            for (dst, src) in self.charge.iter_mut().zip(&charge) {
+                *dst += *src;
+            }
+            for (dst, src) in self.usage.iter_mut().zip(&usage) {
+                *dst += *src;
+            }
+            self.movable_area += area;
+        }
     }
 
     /// The inflated footprint and density scale used when depositing `obj`
@@ -246,11 +337,13 @@ impl DensityGrid {
         let w = obj.size.width.max(min_w);
         let h = obj.size.height.max(min_h);
         let scale = (obj.size.width / w) * (obj.size.height / h) * obj.density_scale;
-        let center = self.region.clamp_center(p, w.min(self.region.width()), h.min(self.region.height()));
+        let center =
+            self.region
+                .clamp_center(p, w.min(self.region.width()), h.min(self.region.height()));
         (Rect::from_center(center, w, h), scale)
     }
 
-    fn deposit_one(&mut self, obj: &DensityObject, p: Point) {
+    fn deposit_one_into(&self, obj: &DensityObject, p: Point, charge: &mut [f64]) {
         let (rect, scale) = self.smoothed_footprint(obj, p);
         let clipped = match rect.intersection(&self.region) {
             Some(r) => r,
@@ -264,12 +357,12 @@ impl DensityGrid {
             for ix in ix0..ix1 {
                 let (bxl, bxh) = self.bin_span_x(ix);
                 let ox = overlap_1d(clipped.xl, clipped.xh, bxl, bxh);
-                self.charge[iy * self.nx + ix] += ox * oy * scale;
+                charge[iy * self.nx + ix] += ox * oy * scale;
             }
         }
     }
 
-    fn deposit_usage(&mut self, obj: &DensityObject, p: Point) {
+    fn deposit_usage_into(&self, obj: &DensityObject, p: Point, usage: &mut [f64]) {
         let usage_scale = obj.density_scale;
         let rect = Rect::from_center(p, obj.size.width, obj.size.height);
         let clipped = match rect.intersection(&self.region) {
@@ -284,7 +377,7 @@ impl DensityGrid {
             for ix in ix0..ix1 {
                 let (bxl, bxh) = self.bin_span_x(ix);
                 let ox = overlap_1d(clipped.xl, clipped.xh, bxl, bxh);
-                self.usage[iy * self.nx + ix] += ox * oy * usage_scale;
+                usage[iy * self.nx + ix] += ox * oy * usage_scale;
             }
         }
     }
@@ -329,16 +422,14 @@ impl DensityGrid {
         // The three syntheses are independent — the paper's §VIII names
         // "acceleration via parallel computation" as future work, and this
         // is its lowest-hanging fruit: on large grids run them on separate
-        // threads (each with its own transform plan).
+        // threads (each with its own transform plan). Each synthesis writes
+        // only its own buffer, so the spawn changes scheduling, never
+        // arithmetic: results are bit-identical to the serial ordering.
         const PARALLEL_BINS: usize = 128 * 128;
-        if nx * ny >= PARALLEL_BINS {
+        if !self.exec.is_serial() && nx * ny >= PARALLEL_BINS {
             let psi_t = &mut self.transform_psi;
             let fx_t = &mut self.transform_fx;
-            let (psi, fx, fy) = (
-                &mut self.potential,
-                &mut self.field_x,
-                &mut self.field_y,
-            );
+            let (psi, fx, fy) = (&mut self.potential, &mut self.field_x, &mut self.field_y);
             let fy_t = &mut self.transform;
             std::thread::scope(|scope| {
                 scope.spawn(|| psi_t.dct3(psi));
@@ -604,8 +695,8 @@ mod tests {
         for y in 1..n - 1 {
             for x in 1..n - 1 {
                 let idx = y * n + x;
-                let lap = psi[idx - 1] + psi[idx + 1] + psi[idx - n] + psi[idx + n]
-                    - 4.0 * psi[idx];
+                let lap =
+                    psi[idx - 1] + psi[idx + 1] + psi[idx - n] + psi[idx + n] - 4.0 * psi[idx];
                 let target = -(g.charge_map()[idx] - rho_mean);
                 dot += lap * target;
                 nrm_a += lap * lap;
@@ -640,7 +731,11 @@ mod tests {
         let small = DensityObject::movable(Size::new(4.0, 4.0));
         let big = DensityObject::movable(Size::new(8.0, 8.0));
         let anchor = DensityObject::movable(Size::new(16.0, 16.0));
-        let pos = vec![Point::new(20.0, 32.0), Point::new(20.0, 32.0), Point::new(40.0, 32.0)];
+        let pos = vec![
+            Point::new(20.0, 32.0),
+            Point::new(20.0, 32.0),
+            Point::new(40.0, 32.0),
+        ];
         g.deposit(&[small, big, anchor], &pos);
         g.solve();
         let gs = g.gradient(&small, pos[0]).norm();
@@ -691,7 +786,12 @@ mod tests {
             .collect();
         // Spread: one per bin row.
         let spread: Vec<Point> = (0..16)
-            .map(|i| Point::new(2.0 + 4.0 * (i % 16) as f64, 2.0 + 4.0 * (i / 16) as f64 * 4.0))
+            .map(|i| {
+                Point::new(
+                    2.0 + 4.0 * (i % 16) as f64,
+                    2.0 + 4.0 * (i / 16) as f64 * 4.0,
+                )
+            })
             .collect();
         g.deposit(&objs, &spread);
         assert!(g.overflow() < 1e-9);
@@ -733,7 +833,10 @@ mod tests {
         g.deposit(&[obj], &[pos]);
         g.solve();
         let grad = g.gradient(&obj, pos);
-        assert!(grad.x < 0.0, "descent must push the cell away from the blockage");
+        assert!(
+            grad.x < 0.0,
+            "descent must push the cell away from the blockage"
+        );
     }
 
     #[test]
@@ -842,11 +945,7 @@ mod energy_consistency_tests {
         ];
         g.deposit(&objs, &pos);
         g.solve();
-        let per_object: f64 = objs
-            .iter()
-            .zip(&pos)
-            .map(|(o, &p)| g.energy(o, p))
-            .sum();
+        let per_object: f64 = objs.iter().zip(&pos).map(|(o, &p)| g.energy(o, p)).sum();
         let total = g.total_energy();
         assert!(
             (per_object - total).abs() < 1e-6 * total.abs().max(1.0),
@@ -859,12 +958,13 @@ mod energy_consistency_tests {
 mod parallel_solve_tests {
     use super::*;
 
-    /// The ≥128² grids take the threaded synthesis path; its results must
-    /// satisfy the same invariants the serial path does.
+    /// With a parallel exec policy, ≥128² grids take the threaded synthesis
+    /// path; its results must satisfy the same invariants the serial path
+    /// does.
     #[test]
     fn parallel_path_matches_physics() {
         let region = Rect::new(0.0, 0.0, 256.0, 256.0);
-        let mut g = DensityGrid::new(region, 128, 128, 1.0);
+        let mut g = DensityGrid::new(region, 128, 128, 1.0).with_exec(ExecConfig::with_threads(3));
         let objs = vec![
             DensityObject::movable(Size::new(24.0, 24.0)),
             DensityObject::movable(Size::new(24.0, 24.0)),
@@ -875,8 +975,7 @@ mod parallel_solve_tests {
         g.deposit(&objs, &pos);
         g.solve();
         // Zero-frequency removal survived the parallel path.
-        let mean: f64 =
-            g.potential_map().iter().sum::<f64>() / g.potential_map().len() as f64;
+        let mean: f64 = g.potential_map().iter().sum::<f64>() / g.potential_map().len() as f64;
         let peak = g
             .potential_map()
             .iter()
@@ -905,5 +1004,151 @@ mod parallel_solve_tests {
             "fd {fd} vs analytic {}",
             ga.x
         );
+    }
+
+    /// The threaded syntheses (and the row/column-parallel transforms under
+    /// them) only repartition independent work, so the full solve must be
+    /// *bit-identical* to the serial solve.
+    #[test]
+    fn threaded_solve_is_bitwise_serial() {
+        let region = Rect::new(0.0, 0.0, 512.0, 512.0);
+        let objs: Vec<DensityObject> = (0..64)
+            .map(|i| DensityObject::movable(Size::new(8.0 + (i % 5) as f64, 10.0)))
+            .collect();
+        let pos: Vec<Point> = (0..64)
+            .map(|i| Point::new(37.0 + 6.1 * (i % 13) as f64, 29.0 + 5.3 * (i / 8) as f64))
+            .collect();
+        let solve = |exec: ExecConfig| {
+            let mut g = DensityGrid::new(region, 128, 128, 1.0).with_exec(exec);
+            g.deposit(&objs, &pos);
+            g.solve();
+            g
+        };
+        let serial = solve(ExecConfig::serial());
+        for threads in [2, 3, 8] {
+            let par = solve(ExecConfig::with_threads(threads));
+            let bits = |m: &[f64]| m.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(
+                bits(serial.potential_map()),
+                bits(par.potential_map()),
+                "{threads}"
+            );
+            assert_eq!(
+                bits(serial.field_maps().0),
+                bits(par.field_maps().0),
+                "{threads}"
+            );
+            assert_eq!(
+                bits(serial.field_maps().1),
+                bits(par.field_maps().1),
+                "{threads}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod parallel_deposit_tests {
+    use super::*;
+
+    /// Enough objects to exceed `DEPOSIT_MIN_CHUNK` and span several chunks.
+    fn crowd(n: usize) -> (Vec<DensityObject>, Vec<Point>) {
+        let objs = (0..n)
+            .map(|i| match i % 3 {
+                0 => DensityObject::movable(Size::new(3.0 + (i % 7) as f64, 4.0)),
+                1 => DensityObject::filler(Size::new(2.0, 2.0)),
+                _ => DensityObject::movable_macro(Size::new(9.0, 6.0), 0.8),
+            })
+            .collect();
+        let pos = (0..n)
+            .map(|i| {
+                Point::new(
+                    1.0 + 0.731 * (i % 173) as f64,
+                    1.0 + 0.547 * (i % 229) as f64,
+                )
+            })
+            .collect();
+        (objs, pos)
+    }
+
+    fn grid128(exec: ExecConfig) -> DensityGrid {
+        let mut g =
+            DensityGrid::new(Rect::new(0.0, 0.0, 128.0, 128.0), 32, 32, 0.9).with_exec(exec);
+        g.add_fixed(Rect::new(40.0, 40.0, 70.0, 60.0));
+        g
+    }
+
+    /// Chunked accumulation reassociates floating-point sums, so the parallel
+    /// deposit is not bitwise serial — but it must agree to rounding noise.
+    #[test]
+    fn parallel_deposit_matches_serial_within_rounding() {
+        let (objs, pos) = crowd(3000);
+        let mut serial = grid128(ExecConfig::serial());
+        serial.deposit(&objs, &pos);
+        let mut par = grid128(ExecConfig::with_threads(4));
+        par.deposit(&objs, &pos);
+        let peak = serial
+            .charge_map()
+            .iter()
+            .fold(0.0f64, |a, &v| a.max(v.abs()));
+        for (a, b) in serial.charge_map().iter().zip(par.charge_map()) {
+            assert!((a - b).abs() <= 1e-9 * peak, "{a} vs {b}");
+        }
+        assert!((serial.overflow() - par.overflow()).abs() < 1e-9);
+        serial.solve();
+        par.solve();
+        let psi_peak = serial
+            .potential_map()
+            .iter()
+            .fold(0.0f64, |a, &v| a.max(v.abs()));
+        for (a, b) in serial.potential_map().iter().zip(par.potential_map()) {
+            assert!((a - b).abs() <= 1e-9 * psi_peak.max(1.0), "{a} vs {b}");
+        }
+    }
+
+    /// The chunk layout and merge order depend only on the object count, so
+    /// any thread count ≥ 2 must produce bit-identical maps.
+    #[test]
+    fn parallel_deposit_is_thread_count_invariant() {
+        let (objs, pos) = crowd(2600);
+        let run = |threads: usize| {
+            let mut g = grid128(ExecConfig::with_threads(threads));
+            g.deposit(&objs, &pos);
+            g
+        };
+        let two = run(2);
+        let two_bits: Vec<u64> = two.charge_map().iter().map(|v| v.to_bits()).collect();
+        for threads in [3, 5, 8] {
+            let other = run(threads);
+            let bits: Vec<u64> = other.charge_map().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(two_bits, bits, "threads {threads}");
+            assert_eq!(two.overflow().to_bits(), other.overflow().to_bits());
+        }
+    }
+
+    /// threads = 1 and small inputs both take the historical serial sweep —
+    /// bitwise exact reproduction.
+    #[test]
+    fn serial_policy_and_small_inputs_are_bitwise_exact() {
+        let (objs, pos) = crowd(3000);
+        let mut baseline = grid128(ExecConfig::serial());
+        baseline.deposit(&objs, &pos);
+        let mut one = grid128(ExecConfig::with_threads(1));
+        one.deposit(&objs, &pos);
+        let bits = |g: &DensityGrid| {
+            g.charge_map()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(bits(&baseline), bits(&one));
+        // Below the chunking threshold the parallel policy falls back to the
+        // serial sweep as well.
+        let (small_objs, small_pos) = crowd(200);
+        let mut small_serial = grid128(ExecConfig::serial());
+        small_serial.deposit(&small_objs, &small_pos);
+        let mut small_par = grid128(ExecConfig::with_threads(4));
+        small_par.deposit(&small_objs, &small_pos);
+        assert_eq!(bits(&small_serial), bits(&small_par));
     }
 }

@@ -3,32 +3,20 @@
 
 use crate::{DensityGrid, DensityObject};
 use eplace_geometry::{Point, Rect, Size};
-use proptest::prelude::*;
+use eplace_testkit::{check, Gen};
 
-fn arb_objects() -> impl Strategy<Value = Vec<(DensityObject, Point)>> {
-    proptest::collection::vec(
-        (
-            1.0f64..20.0,  // width
-            1.0f64..20.0,  // height
-            0.0f64..128.0, // x
-            0.0f64..128.0, // y
-            any::<bool>(), // filler?
-        ),
-        1..25,
-    )
-    .prop_map(|items| {
-        items
-            .into_iter()
-            .map(|(w, h, x, y, filler)| {
-                let size = Size::new(w, h);
-                let obj = if filler {
-                    DensityObject::filler(size)
-                } else {
-                    DensityObject::movable(size)
-                };
-                (obj, Point::new(x, y))
-            })
-            .collect()
+const CASES: u64 = 48;
+
+fn arb_objects(g: &mut Gen) -> Vec<(DensityObject, Point)> {
+    g.vec(1, 24, |g| {
+        let size = Size::new(g.f64_range(1.0, 20.0), g.f64_range(1.0, 20.0));
+        let pos = Point::new(g.f64_range(0.0, 128.0), g.f64_range(0.0, 128.0));
+        let obj = if g.bool(0.5) {
+            DensityObject::filler(size)
+        } else {
+            DensityObject::movable(size)
+        };
+        (obj, pos)
     })
 }
 
@@ -39,39 +27,44 @@ fn grid_with(objs: &[(DensityObject, Point)]) -> DensityGrid {
     grid
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn charge_is_conserved(objs in arb_objects()) {
+#[test]
+fn charge_is_conserved() {
+    check("charge_is_conserved", CASES, |g| {
+        let objs = arb_objects(g);
         let grid = grid_with(&objs);
         let total: f64 = grid.charge_map().iter().sum();
         let expect: f64 = objs.iter().map(|(o, _)| o.charge()).sum();
-        prop_assert!((total - expect).abs() < 1e-6 * expect.max(1.0));
-    }
+        assert!((total - expect).abs() < 1e-6 * expect.max(1.0));
+    });
+}
 
-    #[test]
-    fn potential_is_zero_mean(objs in arb_objects()) {
+#[test]
+fn potential_is_zero_mean() {
+    check("potential_is_zero_mean", CASES, |g| {
+        let objs = arb_objects(g);
         let mut grid = grid_with(&objs);
         grid.solve();
-        let mean: f64 = grid.potential_map().iter().sum::<f64>()
-            / grid.potential_map().len() as f64;
+        let mean: f64 =
+            grid.potential_map().iter().sum::<f64>() / grid.potential_map().len() as f64;
         let scale: f64 = grid
             .potential_map()
             .iter()
             .map(|v| v.abs())
             .fold(0.0, f64::max)
             .max(1.0);
-        prop_assert!(mean.abs() < 1e-9 * scale, "mean {mean}");
-    }
+        assert!(mean.abs() < 1e-9 * scale, "mean {mean}");
+    });
+}
 
-    #[test]
-    fn mirror_symmetry_negates_x_forces(objs in arb_objects()) {
+#[test]
+fn mirror_symmetry_negates_x_forces() {
+    check("mirror_symmetry_negates_x_forces", CASES, |g| {
         // Reflecting the whole configuration about the vertical midline
         // negates every x-force and preserves every y-force (the cosine
         // eigenbasis is mirror-symmetric). Note plain force-sum-to-zero does
         // NOT hold here: the zero-frequency removal introduces a uniform
         // background charge that absorbs the reaction.
+        let objs = arb_objects(g);
         let mut g1 = grid_with(&objs);
         g1.solve();
         let mirrored: Vec<_> = objs
@@ -84,32 +77,40 @@ proptest! {
             let f1 = g1.gradient(o, *p);
             let f2 = g2.gradient(om, *pm);
             let scale = f1.norm().max(f2.norm()).max(1e-9);
-            prop_assert!((f1.x + f2.x).abs() < 1e-6 * scale + 1e-12, "{f1} vs {f2}");
-            prop_assert!((f1.y - f2.y).abs() < 1e-6 * scale + 1e-12, "{f1} vs {f2}");
+            assert!((f1.x + f2.x).abs() < 1e-6 * scale + 1e-12, "{f1} vs {f2}");
+            assert!((f1.y - f2.y).abs() < 1e-6 * scale + 1e-12, "{f1} vs {f2}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn overflow_in_unit_range(objs in arb_objects()) {
-        let grid = grid_with(&objs);
+#[test]
+fn overflow_in_unit_range() {
+    check("overflow_in_unit_range", CASES, |g| {
+        let grid = grid_with(&arb_objects(g));
         let tau = grid.overflow();
-        prop_assert!((0.0..=1.0 + 1e-9).contains(&tau), "tau {tau}");
-    }
+        assert!((0.0..=1.0 + 1e-9).contains(&tau), "tau {tau}");
+    });
+}
 
-    #[test]
-    fn energy_is_finite_and_gradient_defined(objs in arb_objects()) {
+#[test]
+fn energy_is_finite_and_gradient_defined() {
+    check("energy_is_finite_and_gradient_defined", CASES, |g| {
+        let objs = arb_objects(g);
         let mut grid = grid_with(&objs);
         grid.solve();
-        prop_assert!(grid.total_energy().is_finite());
+        assert!(grid.total_energy().is_finite());
         for (o, p) in &objs {
-            let g = grid.gradient(o, *p);
-            prop_assert!(g.is_finite());
-            prop_assert!(grid.energy(o, *p).is_finite());
+            let grad = grid.gradient(o, *p);
+            assert!(grad.is_finite());
+            assert!(grid.energy(o, *p).is_finite());
         }
-    }
+    });
+}
 
-    #[test]
-    fn overfill_consistent_with_overflow(objs in arb_objects()) {
+#[test]
+fn overfill_consistent_with_overflow() {
+    check("overfill_consistent_with_overflow", CASES, |g| {
+        let objs = arb_objects(g);
         let grid = grid_with(&objs);
         let movable: f64 = objs
             .iter()
@@ -119,15 +120,18 @@ proptest! {
         if movable > 0.0 {
             let tau = grid.overflow();
             let area = grid.overfill_area();
-            prop_assert!((tau - area / movable).abs() < 1e-9, "tau {tau} area {area}");
+            assert!((tau - area / movable).abs() < 1e-9, "tau {tau} area {area}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn mirror_reflection_preserves_energy(objs in arb_objects()) {
+#[test]
+fn mirror_reflection_preserves_energy() {
+    check("mirror_reflection_preserves_energy", CASES, |g| {
         // Energy is NOT translation invariant in a bounded Neumann domain
         // (the wall images move with the configuration), but it is exactly
         // invariant under reflection about the domain midline.
+        let objs = arb_objects(g);
         let mut g1 = grid_with(&objs);
         g1.solve();
         let e1 = g1.total_energy();
@@ -139,6 +143,6 @@ proptest! {
         g2.solve();
         let e2 = g2.total_energy();
         let scale = e1.abs().max(e2.abs()).max(1e-9);
-        prop_assert!((e1 - e2).abs() < 1e-6 * scale, "e1 {e1} vs e2 {e2}");
-    }
+        assert!((e1 - e2).abs() < 1e-6 * scale, "e1 {e1} vs e2 {e2}");
+    });
 }

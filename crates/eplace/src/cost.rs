@@ -1,6 +1,7 @@
 use crate::nesterov::Gradient;
 use crate::PlacementProblem;
 use eplace_density::DensityGrid;
+use eplace_exec::ExecConfig;
 use eplace_geometry::Point;
 use eplace_netlist::Design;
 use eplace_wirelength::{GammaSchedule, SmoothWirelength, WaModel};
@@ -77,6 +78,21 @@ impl<'a> EplaceCost<'a> {
         }
     }
 
+    /// Sets the execution policy for both runtime-dominant kernels — the
+    /// electrostatic grid (deposit + spectral solve) and the WA wirelength
+    /// model. Serial (the default) reproduces single-threaded results bit
+    /// for bit; parallel policies are deterministic for any thread count.
+    pub fn set_exec(&mut self, exec: ExecConfig) {
+        self.wa.set_exec(exec);
+        self.grid.set_exec(exec);
+    }
+
+    /// Builder form of [`EplaceCost::set_exec`].
+    pub fn with_exec(mut self, exec: ExecConfig) -> Self {
+        self.set_exec(exec);
+        self
+    }
+
     /// The density grid's bin width (anchors the γ schedule).
     pub fn bin_width(&self) -> f64 {
         self.grid.bin_width()
@@ -118,13 +134,7 @@ impl<'a> EplaceCost<'a> {
     /// `[μ_min, μ_max]` — aggressive (×1.1) while wirelength holds steady,
     /// backing off (×0.75) when HPWL degrades fast. `delta_hpwl` is
     /// `HPWL_k − HPWL_{k−1}`; `delta_ref` the normalization.
-    pub fn update_lambda(
-        &mut self,
-        delta_hpwl: f64,
-        delta_ref: f64,
-        mu_min: f64,
-        mu_max: f64,
-    ) {
+    pub fn update_lambda(&mut self, delta_hpwl: f64, delta_ref: f64, mu_min: f64, mu_max: f64) {
         let x = 1.0 - delta_hpwl / delta_ref.max(1e-12);
         let mu = mu_max.powf(x).clamp(mu_min, mu_max);
         self.lambda *= mu;
@@ -189,12 +199,9 @@ impl Gradient for EplaceCost<'_> {
         // Wirelength (29 %).
         let t1 = Instant::now();
         self.sync_full(pos);
-        self.last_smooth_wl = self.wa.gradient(
-            self.design,
-            &self.full_pos,
-            self.gamma,
-            &mut self.full_grad,
-        );
+        self.last_smooth_wl =
+            self.wa
+                .gradient(self.design, &self.full_pos, self.gamma, &mut self.full_grad);
         self.wirelength_time += t1.elapsed();
 
         // Combine + precondition.
@@ -204,8 +211,7 @@ impl Gradient for EplaceCost<'_> {
             let dg = self.grid.gradient(&self.problem.objects[k], pos[k]);
             let mut g = wl + dg * self.lambda;
             if self.precondition {
-                let h = (self.problem.degrees[k] + self.lambda * self.problem.charges[k])
-                    .max(1.0);
+                let h = (self.problem.degrees[k] + self.lambda * self.problem.charges[k]).max(1.0);
                 g = g * (1.0 / h);
             }
             if !g.is_finite() {
@@ -281,7 +287,9 @@ mod tests {
 
     #[test]
     fn preconditioner_shrinks_macro_gradients() {
-        let mut d = BenchmarkConfig::mms_like("c", 52, 1.0, 4).scale(200).generate();
+        let mut d = BenchmarkConfig::mms_like("c", 52, 1.0, 4)
+            .scale(200)
+            .generate();
         crate::initial_placement(&mut d);
         let p = PlacementProblem::all_movables(&d);
         let pos = p.positions(&d);

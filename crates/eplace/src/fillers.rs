@@ -1,7 +1,7 @@
 use eplace_geometry::{Point, Size};
 use eplace_netlist::{Cell, CellKind, Design};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use eplace_prng::rngs::StdRng;
+use eplace_prng::{Rng, SeedableRng};
 
 /// Populates the design's extra whitespace with unconnected fillers
 /// (paper §III): total filler area is `ρ_t·whitespace − movable_area`, the
@@ -113,7 +113,9 @@ mod tests {
 
     #[test]
     fn dense_design_gets_no_fillers() {
-        let mut d = BenchmarkConfig::ispd06_like("f", 32, 0.5).scale(300).generate();
+        let mut d = BenchmarkConfig::ispd06_like("f", 32, 0.5)
+            .scale(300)
+            .generate();
         // ρ_t·whitespace barely above movables? Force it: shrink target.
         d.target_density = 0.2;
         // movable/whitespace = 0.45 util > 0.2 → no budget.
@@ -122,7 +124,9 @@ mod tests {
 
     #[test]
     fn fillers_respect_density_target() {
-        let mut d = BenchmarkConfig::ispd06_like("f", 33, 0.6).scale(300).generate();
+        let mut d = BenchmarkConfig::ispd06_like("f", 33, 0.6)
+            .scale(300)
+            .generate();
         insert_fillers(&mut d, 2);
         let total: f64 = d
             .cells
@@ -142,10 +146,7 @@ mod tests {
         insert_fillers(&mut a, 9);
         insert_fillers(&mut b, 9);
         assert_eq!(a.cells.len(), b.cells.len());
-        assert_eq!(
-            a.cells.last().map(|c| c.pos),
-            b.cells.last().map(|c| c.pos)
-        );
+        assert_eq!(a.cells.last().map(|c| c.pos), b.cells.last().map(|c| c.pos));
     }
 
     #[test]

@@ -56,7 +56,8 @@ pub fn run_global_placement(
     let dim = grid_dimension(problem.len(), cfg.grid_min, cfg.grid_max);
     let max_iters = max_iterations.unwrap_or(cfg.max_iterations);
 
-    let mut cost = EplaceCost::new(design, problem, dim, dim, cfg.enable_preconditioner);
+    let mut cost =
+        EplaceCost::new(design, problem, dim, dim, cfg.enable_preconditioner).with_exec(cfg.exec());
     let pos0 = problem.positions(design);
     let lambda0 = cost.init_lambda(&pos0);
     if let Some(l) = lambda_init {
@@ -155,21 +156,15 @@ mod tests {
     use eplace_benchgen::BenchmarkConfig;
 
     fn run(scale: usize, seed: u64) -> (Design, GpOutcome, Vec<IterationRecord>) {
-        let mut d = BenchmarkConfig::ispd05_like("gp", seed).scale(scale).generate();
+        let mut d = BenchmarkConfig::ispd05_like("gp", seed)
+            .scale(scale)
+            .generate();
         initial_placement(&mut d);
         insert_fillers(&mut d, seed);
         let problem = PlacementProblem::all_movables(&d);
         let mut trace = Vec::new();
         let cfg = EplaceConfig::fast();
-        let out = run_global_placement(
-            &mut d,
-            &problem,
-            &cfg,
-            Stage::Mgp,
-            None,
-            None,
-            &mut trace,
-        );
+        let out = run_global_placement(&mut d, &problem, &cfg, Stage::Mgp, None, None, &mut trace);
         (d, out, trace)
     }
 
@@ -254,5 +249,49 @@ mod tests {
         assert!(out.profile.wirelength_seconds > 0.0);
         let (d_pct, w_pct, o_pct) = out.profile.percentages();
         assert!((d_pct + w_pct + o_pct - 100.0).abs() < 1e-6);
+    }
+
+    /// The `threads` knob must never make the placer nondeterministic:
+    /// threads = 1 is bit-identical to the default serial config, and any
+    /// parallel setting gives identical trajectories run after run (the
+    /// chunked reductions fix the floating-point association independently
+    /// of scheduling).
+    #[test]
+    fn threads_config_is_run_to_run_deterministic() {
+        let run_with = |threads: usize| {
+            let mut d = BenchmarkConfig::ispd05_like("det", 67)
+                .scale(250)
+                .generate();
+            initial_placement(&mut d);
+            insert_fillers(&mut d, 67);
+            let problem = PlacementProblem::all_movables(&d);
+            let mut trace = Vec::new();
+            let cfg = EplaceConfig {
+                threads,
+                ..EplaceConfig::fast()
+            };
+            run_global_placement(
+                &mut d,
+                &problem,
+                &cfg,
+                Stage::Mgp,
+                None,
+                Some(25),
+                &mut trace,
+            );
+            trace
+                .iter()
+                .map(|r| (r.hpwl.to_bits(), r.overflow.to_bits(), r.lambda.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        let serial = run_with(1);
+        assert_eq!(serial, run_with(1), "serial run must be reproducible");
+        let par = run_with(4);
+        assert_eq!(par, run_with(4), "parallel run must be reproducible");
+        assert_eq!(
+            par,
+            run_with(2),
+            "trajectory must not depend on thread count"
+        );
     }
 }

@@ -101,6 +101,13 @@ pub struct EplaceConfig {
     /// degradations — 3 % of the initial HPWL reproduces that regime on
     /// the reduced-scale benchmarks.
     pub delta_hpwl_ref_frac: f64,
+    /// Worker threads for the density and wirelength kernels (the paper's
+    /// §VIII "acceleration via parallel computation"). `1` (the default)
+    /// runs the historical serial code paths and reproduces prior results
+    /// bit for bit; `0` auto-detects the hardware parallelism. Any value
+    /// ≥ 2 yields one deterministic result independent of the actual thread
+    /// count — see [`eplace_exec`].
+    pub threads: usize,
 }
 
 impl Default for EplaceConfig {
@@ -124,6 +131,7 @@ impl Default for EplaceConfig {
             lambda_mu_max: 1.1,
             lambda_mu_min: 0.75,
             delta_hpwl_ref_frac: 0.03,
+            threads: 1,
         }
     }
 }
@@ -144,6 +152,11 @@ impl EplaceConfig {
             },
             ..EplaceConfig::default()
         }
+    }
+
+    /// The kernel execution policy implied by [`EplaceConfig::threads`].
+    pub fn exec(&self) -> eplace_exec::ExecConfig {
+        eplace_exec::ExecConfig::with_threads(self.threads)
     }
 }
 

@@ -43,6 +43,7 @@ impl QuadSystem {
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // two endpoints × (index, offset, fixed) + weight
     fn add_edge(
         &mut self,
         a: Option<usize>,
@@ -91,17 +92,17 @@ impl QuadSystem {
     fn solve(&mut self, x: &mut [f64], tol: f64, max_iter: usize) -> usize {
         let n = x.len();
         // Anchor unconnected variables at their current value.
-        for i in 0..n {
+        for (i, xi) in x.iter().enumerate().take(n) {
             if self.diag[i] <= 0.0 {
                 self.diag[i] = 1.0;
-                self.rhs[i] = x[i];
+                self.rhs[i] = *xi;
             }
         }
         let mut r = vec![0.0; n];
         let mut ap = vec![0.0; n];
         self.matvec(x, &mut r);
-        for i in 0..n {
-            r[i] = self.rhs[i] - r[i];
+        for (ri, rhs) in r.iter_mut().zip(&self.rhs) {
+            *ri = rhs - *ri;
         }
         let mut z: Vec<f64> = (0..n).map(|i| r[i] / self.diag[i]).collect();
         let mut p = z.clone();
@@ -332,10 +333,7 @@ mod tests {
     fn reduces_hpwl_on_generated_design() {
         let mut d = BenchmarkConfig::ispd05_like("q", 41).scale(400).generate();
         let report = initial_placement(&mut d);
-        assert!(
-            report.hpwl_after < 0.6 * report.hpwl_before,
-            "{report:?}"
-        );
+        assert!(report.hpwl_after < 0.6 * report.hpwl_before, "{report:?}");
         assert!(report.cg_iterations > 0);
     }
 
@@ -357,7 +355,9 @@ mod tests {
 
     #[test]
     fn result_is_inside_region() {
-        let mut d = BenchmarkConfig::mms_like("q", 43, 1.0, 6).scale(300).generate();
+        let mut d = BenchmarkConfig::mms_like("q", 43, 1.0, 6)
+            .scale(300)
+            .generate();
         initial_placement(&mut d);
         for c in d.cells.iter().filter(|c| c.is_movable()) {
             let r = c.rect();

@@ -74,7 +74,10 @@ impl NesterovOptimizer {
         cost.gradient(&init, &mut g);
         // Trial point for the initial L̃: a bounded move against the
         // gradient.
-        let gmax = g.iter().map(|p| p.x.abs().max(p.y.abs())).fold(0.0, f64::max);
+        let gmax = g
+            .iter()
+            .map(|p| p.x.abs().max(p.y.abs()))
+            .fold(0.0, f64::max);
         let t = if gmax > 0.0 { perturb / gmax } else { 0.0 };
         let mut v_prev: Vec<Point> = init.iter().zip(&g).map(|(p, gi)| *p - *gi * t).collect();
         cost.project(&mut v_prev);
@@ -127,7 +130,11 @@ impl NesterovOptimizer {
         // (converged / degenerate), keep the previous steplength.
         let num = norm_diff(&self.v, &self.v_prev);
         let den = norm_diff(&self.g, &self.g_prev);
-        let mut alpha = if den > 1e-30 { num / den } else { self.last_alpha };
+        let mut alpha = if den > 1e-30 {
+            num / den
+        } else {
+            self.last_alpha
+        };
         if !alpha.is_finite() || alpha <= 0.0 {
             alpha = self.last_alpha;
         }
@@ -140,8 +147,7 @@ impl NesterovOptimizer {
             }
             cost.project(&mut self.scratch_u);
             for i in 0..self.u.len() {
-                self.scratch_v[i] =
-                    self.scratch_u[i] + (self.scratch_u[i] - self.u[i]) * coef;
+                self.scratch_v[i] = self.scratch_u[i] + (self.scratch_u[i] - self.u[i]) * coef;
             }
             cost.project(&mut self.scratch_v);
             cost.gradient(&self.scratch_v, &mut self.scratch_g);
@@ -242,9 +248,7 @@ mod tests {
     fn faster_than_plain_gradient_descent() {
         // O(1/k²) vs O(1/k): after the same number of equal-cost
         // iterations Nesterov must be closer on an ill-conditioned bowl.
-        let targets: Vec<Point> = (0..10)
-            .map(|i| Point::new(i as f64, -(i as f64)))
-            .collect();
+        let targets: Vec<Point> = (0..10).map(|i| Point::new(i as f64, -(i as f64))).collect();
         let scale: Vec<f64> = (0..10).map(|i| 1.0 / (1 << i.min(6)) as f64).collect();
         let mut q = Quadratic {
             targets: targets.clone(),
@@ -266,11 +270,7 @@ mod tests {
                 pos[i] -= grad[i] * 1.0;
             }
         }
-        let gd_err: f64 = pos
-            .iter()
-            .zip(&targets)
-            .map(|(p, t)| p.distance(*t))
-            .sum();
+        let gd_err: f64 = pos.iter().zip(&targets).map(|(p, t)| p.distance(*t)).sum();
         assert!(
             nesterov_err < 0.5 * gd_err,
             "nesterov {nesterov_err} vs gd {gd_err}"
@@ -285,8 +285,7 @@ mod tests {
             targets: vec![Point::new(1.0, 1.0)],
             scale: vec![4.0],
         };
-        let mut opt =
-            NesterovOptimizer::new(vec![Point::ORIGIN], &mut q, 0.95, 10, true, 0.1);
+        let mut opt = NesterovOptimizer::new(vec![Point::ORIGIN], &mut q, 0.95, 10, true, 0.1);
         let mut last = 0.0;
         for _ in 0..20 {
             last = opt.step(&mut q).alpha;
@@ -327,14 +326,8 @@ mod tests {
             }
         }
         let mut f = Shifting { calls: 0 };
-        let mut opt = NesterovOptimizer::new(
-            vec![Point::new(10.0, 10.0)],
-            &mut f,
-            0.95,
-            10,
-            true,
-            0.1,
-        );
+        let mut opt =
+            NesterovOptimizer::new(vec![Point::new(10.0, 10.0)], &mut f, 0.95, 10, true, 0.1);
         let mut total = 0;
         for _ in 0..10 {
             total += opt.step(&mut f).backtracks;

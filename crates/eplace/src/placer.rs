@@ -118,15 +118,7 @@ impl Placer {
         design.remove_fillers();
         insert_fillers(design, cfg.seed);
         let problem = PlacementProblem::all_movables(design);
-        let mgp = run_global_placement(
-            design,
-            &problem,
-            &cfg,
-            Stage::Mgp,
-            None,
-            None,
-            &mut trace,
-        );
+        let mgp = run_global_placement(design, &problem, &cfg, Stage::Mgp, None, None, &mut trace);
         design.remove_fillers();
         timings.push(StageTiming {
             stage: Stage::Mgp,
@@ -283,13 +275,19 @@ mod tests {
 
     #[test]
     fn stdcell_flow_end_to_end() {
-        let design = BenchmarkConfig::ispd05_like("flow", 71).scale(250).generate();
+        let design = BenchmarkConfig::ispd05_like("flow", 71)
+            .scale(250)
+            .generate();
         let mut placer = Placer::new(design, EplaceConfig::fast());
         let report = placer.run();
         assert!(report.mgp_converged, "tau={}", report.final_overflow);
         assert!(report.mlg.is_none(), "std-cell suite must skip mLG");
         assert_eq!(report.cgp_iterations, 0);
-        assert!(report.legalization.is_some(), "{:?}", report.legalization_error);
+        assert!(
+            report.legalization.is_some(),
+            "{:?}",
+            report.legalization_error
+        );
         assert!(check_legal(placer.design()).is_ok());
         assert!(report.final_hpwl > 0.0);
         assert!(report.detail_gain >= 0.0);
@@ -297,14 +295,24 @@ mod tests {
 
     #[test]
     fn mixed_size_flow_end_to_end() {
-        let design = BenchmarkConfig::mms_like("flowm", 72, 1.0, 5).scale(250).generate();
+        let design = BenchmarkConfig::mms_like("flowm", 72, 1.0, 5)
+            .scale(250)
+            .generate();
         let mut placer = Placer::new(design, EplaceConfig::fast());
         let report = placer.run();
         let mlg = report.mlg.as_ref().expect("mixed-size flow runs mLG");
         assert!(mlg.legalized, "macro overlap {}", mlg.macro_overlap_after);
         assert!(report.cgp_iterations > 0);
-        assert!(report.legalization.is_some(), "{:?}", report.legalization_error);
-        assert!(check_legal(placer.design()).is_ok(), "{:?}", check_legal(placer.design()));
+        assert!(
+            report.legalization.is_some(),
+            "{:?}",
+            report.legalization_error
+        );
+        assert!(
+            check_legal(placer.design()).is_ok(),
+            "{:?}",
+            check_legal(placer.design())
+        );
         // Macros end up fixed and non-overlapping.
         for c in placer.design().cells.iter() {
             if c.kind == CellKind::Macro {
@@ -315,7 +323,9 @@ mod tests {
 
     #[test]
     fn stage_timings_cover_flow() {
-        let design = BenchmarkConfig::ispd05_like("flow", 73).scale(200).generate();
+        let design = BenchmarkConfig::ispd05_like("flow", 73)
+            .scale(200)
+            .generate();
         let mut placer = Placer::new(design, EplaceConfig::fast());
         let report = placer.run();
         assert!(report.stage_seconds(Stage::Mip) > 0.0);
@@ -326,11 +336,12 @@ mod tests {
 
     #[test]
     fn trace_spans_stages_for_mixed_flow() {
-        let design = BenchmarkConfig::mms_like("flowt", 74, 1.0, 4).scale(200).generate();
+        let design = BenchmarkConfig::mms_like("flowt", 74, 1.0, 4)
+            .scale(200)
+            .generate();
         let mut placer = Placer::new(design, EplaceConfig::fast());
         let report = placer.run();
-        let stages: std::collections::HashSet<_> =
-            report.trace.iter().map(|r| r.stage).collect();
+        let stages: std::collections::HashSet<_> = report.trace.iter().map(|r| r.stage).collect();
         assert!(stages.contains(&Stage::Mgp));
         assert!(stages.contains(&Stage::FillerOnly));
         assert!(stages.contains(&Stage::Cgp));
@@ -338,7 +349,9 @@ mod tests {
 
     #[test]
     fn scaled_hpwl_at_least_hpwl() {
-        let design = BenchmarkConfig::ispd06_like("flow6", 75, 0.8).scale(250).generate();
+        let design = BenchmarkConfig::ispd06_like("flow6", 75, 0.8)
+            .scale(250)
+            .generate();
         let mut placer = Placer::new(design, EplaceConfig::fast());
         let report = placer.run();
         assert!(report.scaled_hpwl >= report.final_hpwl);
@@ -347,7 +360,9 @@ mod tests {
     #[test]
     fn deterministic_runs() {
         let mk = || {
-            let design = BenchmarkConfig::ispd05_like("det", 76).scale(200).generate();
+            let design = BenchmarkConfig::ispd05_like("det", 76)
+                .scale(200)
+                .generate();
             Placer::new(design, EplaceConfig::fast()).run().final_hpwl
         };
         assert_eq!(mk(), mk());

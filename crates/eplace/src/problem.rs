@@ -30,9 +30,7 @@ impl PlacementProblem {
     /// Problem over fillers only — the 20-iteration filler relocation
     /// phase before cGP (§VI-B).
     pub fn fillers_only(design: &Design) -> Self {
-        Self::from_filter(design, |_, c| {
-            c.is_movable() && c.kind == CellKind::Filler
-        })
+        Self::from_filter(design, |_, c| c.is_movable() && c.kind == CellKind::Filler)
     }
 
     fn from_filter(
@@ -52,9 +50,7 @@ impl PlacementProblem {
                 CellKind::Filler => DensityObject::filler(cell.size),
                 // Movable macros carry ρ_t-scaled charge (solid objects
                 // cannot dilute to a ρ_t < 1 equilibrium).
-                CellKind::Macro => {
-                    DensityObject::movable_macro(cell.size, design.target_density)
-                }
+                CellKind::Macro => DensityObject::movable_macro(cell.size, design.target_density),
                 _ => DensityObject::movable(cell.size),
             });
             degrees.push(design.cell_nets[i].len() as f64);
@@ -80,10 +76,7 @@ impl PlacementProblem {
 
     /// Extracts the current positions of the moved objects from the design.
     pub fn positions(&self, design: &Design) -> Vec<Point> {
-        self.movable
-            .iter()
-            .map(|&i| design.cells[i].pos)
-            .collect()
+        self.movable.iter().map(|&i| design.cells[i].pos).collect()
     }
 
     /// Writes an optimizer solution back into the design.

@@ -1,9 +1,8 @@
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::time::Duration;
 
 /// Flow stage names (paper Figure 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Stage {
     /// Mixed-size initial placement (quadratic wirelength minimization).
     Mip,
@@ -35,7 +34,7 @@ impl fmt::Display for Stage {
 
 /// One optimizer iteration's metrics — the data behind the paper's Figure 2
 /// (HPWL and overlap vs iteration) and Figure 3 (snapshots with W and O).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IterationRecord {
     /// Which stage produced this record.
     pub stage: Stage,
@@ -59,7 +58,7 @@ pub struct IterationRecord {
 }
 
 /// Wall-clock of one stage — the data behind Figure 7's outer pie.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StageTiming {
     /// Stage.
     pub stage: Stage,
@@ -69,7 +68,7 @@ pub struct StageTiming {
 
 /// The mGP-internal runtime split — Figure 7's inner breakdown (paper:
 /// density 57 %, wirelength 29 %, other 14 %).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct RuntimeProfile {
     /// Seconds in density deposit + Poisson solve + field sampling.
     pub density_seconds: f64,

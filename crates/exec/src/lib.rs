@@ -1,0 +1,342 @@
+//! Deterministic parallel execution for the ePlace hot-path kernels.
+//!
+//! ePlace's runtime is dominated by three kernels — the WA wirelength
+//! gradient, density deposition, and the 2-D spectral transforms (paper
+//! Fig. 7: density 57 %, wirelength 29 % of mGP). This crate gives them a
+//! shared threading substrate built on `std::thread::scope`, with two hard
+//! guarantees the numerical tests rely on:
+//!
+//! 1. **`threads = 1` is the serial code.** [`ExecConfig::serial`] takes the
+//!    exact same code path as the pre-parallel kernels, so single-threaded
+//!    results are bit-for-bit identical to the historical implementation.
+//! 2. **Parallel results are deterministic in the thread count.** Work is
+//!    split into *fixed* chunks whose boundaries depend only on the problem
+//!    size ([`deterministic_chunks`]), each chunk produces an independent
+//!    partial result, and partials are reduced **in chunk order** on the
+//!    calling thread ([`map_chunks`]). No atomic floats, no
+//!    first-come-first-merged races: `threads = 2` and `threads = 8`
+//!    produce identical bits.
+//!
+//! Kernels whose parallel units write to *disjoint* outputs (the row/column
+//! passes of the 2-D transforms) do not need chunk reduction at all —
+//! [`for_each_unit`] hands each unit to exactly one worker and the result is
+//! bitwise independent of the schedule by construction.
+//!
+//! # Examples
+//!
+//! ```
+//! use eplace_exec::{deterministic_chunks, map_chunks, ExecConfig};
+//!
+//! let data: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+//! let exec = ExecConfig::with_threads(4);
+//! let chunks = deterministic_chunks(data.len(), 64, 8);
+//! let partials = map_chunks(&exec, data.len(), chunks, |_, range| {
+//!     data[range].iter().sum::<f64>()
+//! });
+//! // Reduction order is the chunk order — identical for every thread count.
+//! let total: f64 = partials.into_iter().sum();
+//! assert_eq!(total, 499_500.0);
+//! ```
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Thread-count knob threaded from `EplaceConfig` down into the kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    threads: usize,
+}
+
+impl Default for ExecConfig {
+    /// Serial — parallelism is opt-in so library users keep exact
+    /// historical results unless they ask otherwise.
+    fn default() -> Self {
+        ExecConfig::serial()
+    }
+}
+
+impl ExecConfig {
+    /// Single-threaded execution (the exact pre-parallel code path).
+    pub fn serial() -> Self {
+        ExecConfig { threads: 1 }
+    }
+
+    /// One thread per available hardware core.
+    pub fn auto() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ExecConfig { threads: n.max(1) }
+    }
+
+    /// Fixed thread count; `0` means [`ExecConfig::auto`].
+    pub fn with_threads(threads: usize) -> Self {
+        if threads == 0 {
+            ExecConfig::auto()
+        } else {
+            ExecConfig { threads }
+        }
+    }
+
+    /// Resolved worker count (always ≥ 1).
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// `true` when execution is single-threaded.
+    #[inline]
+    pub fn is_serial(&self) -> bool {
+        self.threads == 1
+    }
+}
+
+/// Number of fixed work chunks for a problem of `len` items: enough to load
+/// any realistic machine, few enough that per-chunk scratch stays cheap, and
+/// — critically — a function of `len` alone, never of the thread count
+/// (chunk boundaries define the floating-point reduction order, so they must
+/// not move when the machine changes).
+pub fn deterministic_chunks(len: usize, min_chunk: usize, max_chunks: usize) -> usize {
+    if len == 0 {
+        return 1;
+    }
+    len.div_ceil(min_chunk.max(1)).clamp(1, max_chunks.max(1))
+}
+
+/// Splits `0..len` into `num_chunks` near-equal contiguous ranges.
+fn chunk_range(len: usize, num_chunks: usize, i: usize) -> Range<usize> {
+    let base = len / num_chunks;
+    let rem = len % num_chunks;
+    let start = i * base + i.min(rem);
+    let extra = usize::from(i < rem);
+    start..start + base + extra
+}
+
+/// Runs `work` over `num_chunks` fixed ranges of `0..len` and returns the
+/// per-chunk results **in chunk order**, regardless of which worker finished
+/// when. Reducing the returned vector front-to-back therefore gives the same
+/// floating-point result for every thread count ≥ 2; with
+/// [`ExecConfig::serial`] the chunks run inline on the calling thread in
+/// order, with no thread machinery at all.
+pub fn map_chunks<S, F>(exec: &ExecConfig, len: usize, num_chunks: usize, work: F) -> Vec<S>
+where
+    S: Send,
+    F: Fn(usize, Range<usize>) -> S + Sync,
+{
+    let num_chunks = num_chunks.max(1);
+    if exec.is_serial() || num_chunks == 1 {
+        return (0..num_chunks)
+            .map(|i| work(i, chunk_range(len, num_chunks, i)))
+            .collect();
+    }
+    let slots: Vec<Mutex<Option<S>>> = (0..num_chunks).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = exec.threads().min(num_chunks);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= num_chunks {
+                    break;
+                }
+                let result = work(i, chunk_range(len, num_chunks, i));
+                *slots[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every chunk slot is filled before the scope ends")
+        })
+        .collect()
+}
+
+/// Applies `work` to each consecutive `unit_len` block of `data` (e.g. each
+/// row of a row-major grid), distributing whole units across workers. Every
+/// unit is written by exactly one worker and units are disjoint, so the
+/// output is bitwise identical for every thread count. Each worker gets one
+/// scratch object from `make_scratch`, reused across all its units.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a multiple of `unit_len`.
+pub fn for_each_unit<T, S, M, F>(
+    exec: &ExecConfig,
+    data: &mut [T],
+    unit_len: usize,
+    make_scratch: M,
+    work: F,
+) where
+    T: Send,
+    S: Send,
+    M: Fn() -> S + Sync,
+    F: Fn(usize, &mut [T], &mut S) + Sync,
+{
+    assert!(unit_len > 0, "unit length must be positive");
+    assert_eq!(
+        data.len() % unit_len,
+        0,
+        "data length {} is not a multiple of unit length {}",
+        data.len(),
+        unit_len
+    );
+    let units = data.len() / unit_len;
+    if exec.is_serial() || units <= 1 {
+        let mut scratch = make_scratch();
+        for (i, unit) in data.chunks_mut(unit_len).enumerate() {
+            work(i, unit, &mut scratch);
+        }
+        return;
+    }
+    let workers = exec.threads().min(units);
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let base = units / workers;
+        let rem = units % workers;
+        let mut first_unit = 0;
+        for w in 0..workers {
+            let take = (base + usize::from(w < rem)) * unit_len;
+            let (mine, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let start = first_unit;
+            first_unit += take / unit_len;
+            let make_scratch = &make_scratch;
+            let work = &work;
+            scope.spawn(move || {
+                let mut scratch = make_scratch();
+                for (k, unit) in mine.chunks_mut(unit_len).enumerate() {
+                    work(start + k, unit, &mut scratch);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_config_is_default() {
+        assert_eq!(ExecConfig::default(), ExecConfig::serial());
+        assert!(ExecConfig::serial().is_serial());
+        assert_eq!(ExecConfig::with_threads(3).threads(), 3);
+        assert!(ExecConfig::with_threads(0).threads() >= 1);
+    }
+
+    #[test]
+    fn chunk_ranges_tile_exactly() {
+        for &(len, n) in &[(10usize, 3usize), (7, 7), (100, 8), (5, 16), (0, 4)] {
+            let n = n.max(1);
+            let mut covered = 0;
+            for i in 0..n {
+                let r = chunk_range(len, n, i);
+                assert_eq!(r.start, covered, "len {len} chunks {n}");
+                covered = r.end;
+            }
+            assert_eq!(covered, len);
+        }
+    }
+
+    #[test]
+    fn deterministic_chunks_ignores_thread_count() {
+        // The policy is a pure function of the problem size.
+        assert_eq!(deterministic_chunks(0, 64, 8), 1);
+        assert_eq!(deterministic_chunks(63, 64, 8), 1);
+        assert_eq!(deterministic_chunks(65, 64, 8), 2);
+        assert_eq!(deterministic_chunks(1 << 20, 64, 8), 8);
+    }
+
+    fn noisy_sum(range: Range<usize>) -> f64 {
+        // A sum whose value depends on the association order, to detect any
+        // merge-order nondeterminism.
+        range
+            .map(|i| ((i * 2654435761) % 1000) as f64 * 1e-3 + 1e10)
+            .sum()
+    }
+
+    #[test]
+    fn map_chunks_matches_serial_for_every_thread_count() {
+        let len = 10_000;
+        let chunks = deterministic_chunks(len, 512, 8);
+        let reduce = |exec: &ExecConfig| {
+            map_chunks(exec, len, chunks, |_, r| noisy_sum(r))
+                .into_iter()
+                .fold(0.0, |acc, x| acc + x)
+        };
+        let serial = reduce(&ExecConfig::serial());
+        for threads in [2, 3, 5, 8] {
+            let parallel = reduce(&ExecConfig::with_threads(threads));
+            assert_eq!(serial.to_bits(), parallel.to_bits(), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn map_chunks_preserves_chunk_order() {
+        let got = map_chunks(&ExecConfig::with_threads(4), 100, 10, |i, r| (i, r.start));
+        for (i, &(idx, start)) in got.iter().enumerate() {
+            assert_eq!(idx, i);
+            assert_eq!(start, i * 10);
+        }
+    }
+
+    #[test]
+    fn for_each_unit_is_thread_count_invariant() {
+        let run = |threads| {
+            let mut data: Vec<f64> = (0..64 * 16).map(|i| (i % 97) as f64).collect();
+            for_each_unit(
+                &ExecConfig::with_threads(threads),
+                &mut data,
+                64,
+                || vec![0.0f64; 64],
+                |i, unit, scratch| {
+                    for (k, v) in unit.iter_mut().enumerate() {
+                        scratch[k] = *v * (i + 1) as f64;
+                    }
+                    unit.copy_from_slice(scratch);
+                },
+            );
+            data
+        };
+        let serial = run(1);
+        for threads in [2, 4, 16] {
+            assert_eq!(serial, run(threads), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn for_each_unit_visits_every_unit_once() {
+        let mut data = vec![0u64; 8 * 13];
+        for_each_unit(
+            &ExecConfig::with_threads(3),
+            &mut data,
+            13,
+            || (),
+            |i, unit, _| {
+                for v in unit.iter_mut() {
+                    *v += i as u64 + 1;
+                }
+            },
+        );
+        for (i, block) in data.chunks(13).enumerate() {
+            assert!(block.iter().all(|&v| v == i as u64 + 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn for_each_unit_rejects_ragged_data() {
+        let mut data = vec![0.0f64; 10];
+        for_each_unit(&ExecConfig::serial(), &mut data, 3, || (), |_, _, _| {});
+    }
+
+    #[test]
+    fn map_chunks_handles_empty_input() {
+        let out = map_chunks(&ExecConfig::with_threads(4), 0, 1, |_, r| r.len());
+        assert_eq!(out, vec![0]);
+    }
+}

@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
 
@@ -13,7 +12,7 @@ use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
 /// assert_eq!(p, Point::new(4.0, 0.0));
 /// assert_eq!(p.norm(), 4.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Point {
     /// Horizontal coordinate.
     pub x: f64,
@@ -148,7 +147,7 @@ impl From<(f64, f64)> for Point {
 /// let s = Size::new(3.0, 2.0);
 /// assert_eq!(s.area(), 6.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Size {
     /// Horizontal extent.
     pub width: f64,

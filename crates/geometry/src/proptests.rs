@@ -2,95 +2,132 @@
 //! hand-written unit tests stay readable).
 
 use crate::{clamp, overlap_1d, Point, Rect};
-use proptest::prelude::*;
+use eplace_testkit::{check, Gen};
 
-fn arb_rect() -> impl Strategy<Value = Rect> {
-    (-100.0f64..100.0, -100.0f64..100.0, 0.0f64..50.0, 0.0f64..50.0)
-        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+const CASES: u64 = 256;
+
+fn arb_rect(g: &mut Gen) -> Rect {
+    let x = g.f64_range(-100.0, 100.0);
+    let y = g.f64_range(-100.0, 100.0);
+    let w = g.f64_range(0.0, 50.0);
+    let h = g.f64_range(0.0, 50.0);
+    Rect::new(x, y, x + w, y + h)
 }
 
-proptest! {
-    #[test]
-    fn overlap_is_symmetric(a in arb_rect(), b in arb_rect()) {
-        prop_assert_eq!(a.overlap_area(&b), b.overlap_area(&a));
-    }
+fn arb_point(g: &mut Gen, lo: f64, hi: f64) -> Point {
+    Point::new(g.f64_range(lo, hi), g.f64_range(lo, hi))
+}
 
-    #[test]
-    fn overlap_bounded_by_min_area(a in arb_rect(), b in arb_rect()) {
+#[test]
+fn overlap_is_symmetric() {
+    check("overlap_is_symmetric", CASES, |g| {
+        let (a, b) = (arb_rect(g), arb_rect(g));
+        assert_eq!(a.overlap_area(&b), b.overlap_area(&a));
+    });
+}
+
+#[test]
+fn overlap_bounded_by_min_area() {
+    check("overlap_bounded_by_min_area", CASES, |g| {
+        let (a, b) = (arb_rect(g), arb_rect(g));
         let o = a.overlap_area(&b);
-        prop_assert!(o >= 0.0);
-        prop_assert!(o <= a.area().min(b.area()) + 1e-9);
-    }
+        assert!(o >= 0.0);
+        assert!(o <= a.area().min(b.area()) + 1e-9);
+    });
+}
 
-    #[test]
-    fn self_overlap_is_area(a in arb_rect()) {
-        prop_assert!((a.overlap_area(&a) - a.area()).abs() < 1e-9);
-    }
+#[test]
+fn self_overlap_is_area() {
+    check("self_overlap_is_area", CASES, |g| {
+        let a = arb_rect(g);
+        assert!((a.overlap_area(&a) - a.area()).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn intersection_consistent_with_overlap(a in arb_rect(), b in arb_rect()) {
+#[test]
+fn intersection_consistent_with_overlap() {
+    check("intersection_consistent_with_overlap", CASES, |g| {
+        let (a, b) = (arb_rect(g), arb_rect(g));
         match a.intersection(&b) {
             Some(i) => {
-                prop_assert!((i.area() - a.overlap_area(&b)).abs() < 1e-9);
-                prop_assert!(a.contains_rect(&i) || i.area() < 1e-9);
-                prop_assert!(b.contains_rect(&i) || i.area() < 1e-9);
+                assert!((i.area() - a.overlap_area(&b)).abs() < 1e-9);
+                assert!(a.contains_rect(&i) || i.area() < 1e-9);
+                assert!(b.contains_rect(&i) || i.area() < 1e-9);
             }
-            None => prop_assert_eq!(a.overlap_area(&b), 0.0),
+            None => assert_eq!(a.overlap_area(&b), 0.0),
         }
-    }
+    });
+}
 
-    #[test]
-    fn union_contains_both(a in arb_rect(), b in arb_rect()) {
+#[test]
+fn union_contains_both() {
+    check("union_contains_both", CASES, |g| {
+        let (a, b) = (arb_rect(g), arb_rect(g));
         let u = a.union(&b);
-        prop_assert!(u.contains_rect(&a));
-        prop_assert!(u.contains_rect(&b));
-    }
+        assert!(u.contains_rect(&a));
+        assert!(u.contains_rect(&b));
+    });
+}
 
-    #[test]
-    fn translation_preserves_area(a in arb_rect(), dx in -50.0f64..50.0, dy in -50.0f64..50.0) {
-        let t = a.translated(Point::new(dx, dy));
-        prop_assert!((t.area() - a.area()).abs() < 1e-9);
-    }
+#[test]
+fn translation_preserves_area() {
+    check("translation_preserves_area", CASES, |g| {
+        let a = arb_rect(g);
+        let d = arb_point(g, -50.0, 50.0);
+        let t = a.translated(d);
+        assert!((t.area() - a.area()).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn clamp_center_result_is_inside(
-        r in arb_rect(),
-        px in -500.0f64..500.0,
-        py in -500.0f64..500.0,
-        w in 0.1f64..20.0,
-        h in 0.1f64..20.0,
-    ) {
-        prop_assume!(r.width() > w && r.height() > h);
-        let c = r.clamp_center(Point::new(px, py), w, h);
+#[test]
+fn clamp_center_result_is_inside() {
+    check("clamp_center_result_is_inside", CASES, |g| {
+        let r = arb_rect(g);
+        let p = arb_point(g, -500.0, 500.0);
+        let w = g.f64_range(0.1, 20.0);
+        let h = g.f64_range(0.1, 20.0);
+        if r.width() <= w || r.height() <= h {
+            return; // precondition: the box must fit in the region
+        }
+        let c = r.clamp_center(p, w, h);
         let placed = Rect::from_center(c, w, h);
         // `(lo + h/2) − h/2` can round a few ulps outside; allow fp slack.
-        prop_assert!(
-            r.inflated(1e-9 * (1.0 + r.xh.abs() + r.yh.abs())).contains_rect(&placed),
+        assert!(
+            r.inflated(1e-9 * (1.0 + r.xh.abs() + r.yh.abs()))
+                .contains_rect(&placed),
             "{placed} not in {r}"
         );
-    }
+    });
+}
 
-    #[test]
-    fn overlap_1d_matches_rect_overlap(a in arb_rect(), b in arb_rect()) {
+#[test]
+fn overlap_1d_matches_rect_overlap() {
+    check("overlap_1d_matches_rect_overlap", CASES, |g| {
+        let (a, b) = (arb_rect(g), arb_rect(g));
         let manual = overlap_1d(a.xl, a.xh, b.xl, b.xh) * overlap_1d(a.yl, a.yh, b.yl, b.yh);
-        prop_assert!((manual - a.overlap_area(&b)).abs() < 1e-9);
-    }
+        assert!((manual - a.overlap_area(&b)).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn clamp_is_idempotent(v in -1e6f64..1e6, lo in -100.0f64..100.0, hi in -100.0f64..100.0) {
+#[test]
+fn clamp_is_idempotent() {
+    check("clamp_is_idempotent", CASES, |g| {
+        let v = g.f64_range(-1e6, 1e6);
+        let lo = g.f64_range(-100.0, 100.0);
+        let hi = g.f64_range(-100.0, 100.0);
         let once = clamp(v, lo, hi);
-        prop_assert_eq!(once, clamp(once, lo, hi));
-    }
+        assert_eq!(once, clamp(once, lo, hi));
+    });
+}
 
-    #[test]
-    fn manhattan_triangle_inequality(
-        ax in -100.0f64..100.0, ay in -100.0f64..100.0,
-        bx in -100.0f64..100.0, by in -100.0f64..100.0,
-        cx in -100.0f64..100.0, cy in -100.0f64..100.0,
-    ) {
-        let a = Point::new(ax, ay);
-        let b = Point::new(bx, by);
-        let c = Point::new(cx, cy);
-        prop_assert!(a.manhattan_distance(c) <= a.manhattan_distance(b) + b.manhattan_distance(c) + 1e-9);
-    }
+#[test]
+fn manhattan_triangle_inequality() {
+    check("manhattan_triangle_inequality", CASES, |g| {
+        let a = arb_point(g, -100.0, 100.0);
+        let b = arb_point(g, -100.0, 100.0);
+        let c = arb_point(g, -100.0, 100.0);
+        assert!(
+            a.manhattan_distance(c) <= a.manhattan_distance(b) + b.manhattan_distance(c) + 1e-9
+        );
+    });
 }

@@ -1,5 +1,4 @@
 use crate::{overlap_1d, Point, Size};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An axis-aligned rectangle, stored as lower-left corner plus upper-right
@@ -18,7 +17,7 @@ use std::fmt;
 /// assert_eq!(r.area(), 50.0);
 /// assert_eq!(r.center(), Point::new(5.0, 2.5));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Rect {
     /// Lower-left x.
     pub xl: f64,

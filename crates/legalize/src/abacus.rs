@@ -95,9 +95,10 @@ impl SegmentState {
                 .map(|c| c.first)
                 .unwrap_or(self.cells.len());
             let mut x = (cluster.q / cluster.e).clamp(xl, (xh - cluster.w).max(xl));
-            for idx in cluster.first..end {
-                out[idx] = x;
-                x += self.cells[idx].width;
+            let span = cluster.first..end;
+            for (o, cell) in out[span.clone()].iter_mut().zip(&self.cells[span]) {
+                *o = x;
+                x += cell.width;
             }
         }
         out
@@ -190,14 +191,12 @@ pub fn legalize_abacus(design: &mut Design) -> Result<crate::LegalizeReport, Leg
         // as the bound alone cannot beat it. Without an incumbent, keep
         // going — distant segments may be the only ones with room.
         let mut best: Option<(f64, usize)> = None;
-        let mut probed = 0;
-        for &(lower_bound, s) in ranked.iter() {
+        for (probed, &(lower_bound, s)) in ranked.iter().enumerate() {
             if let Some((c, _)) = best {
                 if lower_bound >= c || probed >= 24 {
                     break;
                 }
             }
-            probed += 1;
             let (_, xl, xh, yc) = segments[s];
             let dy = (yc - cell.pos.y).abs();
             if let Some(cost) = states[s].trial_cost(acell, xl, xh, dy) {
@@ -250,7 +249,9 @@ mod tests {
 
     #[test]
     fn abacus_produces_legal_layout() {
-        let mut d = BenchmarkConfig::ispd05_like("ab", 201).scale(300).generate();
+        let mut d = BenchmarkConfig::ispd05_like("ab", 201)
+            .scale(300)
+            .generate();
         let report = legalize_abacus(&mut d).unwrap();
         assert_eq!(report.placed, 300);
         assert!(check_legal(&d).is_ok(), "{:?}", check_legal(&d));
@@ -258,7 +259,9 @@ mod tests {
 
     #[test]
     fn abacus_beats_tetris_on_displacement() {
-        let mut tetris_d = BenchmarkConfig::ispd05_like("ab", 202).scale(300).generate();
+        let mut tetris_d = BenchmarkConfig::ispd05_like("ab", 202)
+            .scale(300)
+            .generate();
         let mut abacus_d = tetris_d.clone();
         let t = legalize(&mut tetris_d).unwrap();
         let a = legalize_abacus(&mut abacus_d).unwrap();
@@ -285,8 +288,7 @@ mod tests {
         legalize_abacus(&mut d).unwrap();
         assert!(check_legal(&d).is_ok());
         // Mean position preserved: the cluster centers on the common target.
-        let mean: f64 =
-            ids.iter().map(|id| d.cells[id.index()].pos.x).sum::<f64>() / 3.0;
+        let mean: f64 = ids.iter().map(|id| d.cells[id.index()].pos.x).sum::<f64>() / 3.0;
         assert!((mean - 50.0).abs() < 5.1, "mean {mean}");
     }
 
@@ -307,7 +309,9 @@ mod tests {
         d.cells[c.index()].pos = Point::new(50.0, 6.0);
         legalize_abacus(&mut d).unwrap();
         assert!(check_legal(&d).is_ok());
-        let overlap = d.cells[c.index()].rect().overlap_area(&d.cells[blk.index()].rect());
+        let overlap = d.cells[c.index()]
+            .rect()
+            .overlap_area(&d.cells[blk.index()].rect());
         assert_eq!(overlap, 0.0);
     }
 

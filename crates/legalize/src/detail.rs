@@ -309,7 +309,9 @@ mod tests {
 
     #[test]
     fn zero_passes_is_identity() {
-        let mut d = BenchmarkConfig::ispd05_like("dp0", 22).scale(200).generate();
+        let mut d = BenchmarkConfig::ispd05_like("dp0", 23)
+            .scale(200)
+            .generate();
         legalize(&mut d).unwrap();
         let before = d.hpwl();
         let gain = detail_place(&mut d, 0);

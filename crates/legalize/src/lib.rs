@@ -93,10 +93,9 @@ pub fn check_legal(design: &Design) -> Result<(), String> {
         {
             return Err(format!("cell `{}` outside region", cell.name));
         }
-        let on_row = design
-            .rows
-            .iter()
-            .any(|row| (r.yl - row.y).abs() < tol && r.xl >= row.x - tol && r.xh <= row.x + row.width + tol);
+        let on_row = design.rows.iter().any(|row| {
+            (r.yl - row.y).abs() < tol && r.xl >= row.x - tol && r.xh <= row.x + row.width + tol
+        });
         if !on_row {
             return Err(format!("cell `{}` not aligned to any row", cell.name));
         }

@@ -117,7 +117,11 @@ impl RowMap {
 
     /// Total free capacity of row `r`.
     pub fn row_remaining(&self, r: usize) -> f64 {
-        self.rows[r].segments.iter().map(FreeSegment::remaining).sum()
+        self.rows[r]
+            .segments
+            .iter()
+            .map(FreeSegment::remaining)
+            .sum()
     }
 
     /// The `(xl, xh)` extents of row `r`'s obstacle-free segments (as built,

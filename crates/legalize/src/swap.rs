@@ -46,7 +46,10 @@ pub fn global_swap(design: &mut Design, passes: usize) -> f64 {
     // absorb float noise.
     let key_of = |design: &Design, ci: usize| -> (i64, i64) {
         let s = design.cells[ci].size;
-        ((s.width * 64.0).round() as i64, (s.height * 64.0).round() as i64)
+        (
+            (s.width * 64.0).round() as i64,
+            (s.height * 64.0).round() as i64,
+        )
     };
     let mut buckets: std::collections::HashMap<(i64, i64), Vec<usize>> = Default::default();
     for &ci in &movable {

@@ -1,8 +1,8 @@
 use crate::MlgConfig;
 use eplace_geometry::{Point, Rect};
 use eplace_netlist::{CellKind, Design, NetId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use eplace_prng::rngs::StdRng;
+use eplace_prng::{Rng, SeedableRng};
 
 /// Outcome of [`legalize_macros`] — the before/after triple `(W, D, O_m)`
 /// reported in the paper's Figure 5 plus annealer statistics.
@@ -195,8 +195,8 @@ pub fn legalize_macros(design: &mut Design, cfg: &MlgConfig) -> MlgReport {
         let f_base = w + mu_d * d + mu_o * om;
 
         let k_max = (cfg.sa_iterations_per_macro * m).max(1);
-        let radius0 = design.region.width() / (m as f64).sqrt() * cfg.initial_radius_factor
-            * kappa_j;
+        let radius0 =
+            design.region.width() / (m as f64).sqrt() * cfg.initial_radius_factor * kappa_j;
         for k in 0..k_max {
             attempted += 1;
             let progress = k as f64 / k_max as f64;
@@ -298,12 +298,7 @@ fn total_macro_overlap(macros: &[MacroState], obstacles: &[Rect]) -> f64 {
 
 /// Overlap of a candidate rectangle for macro `mi` against every other
 /// macro and all obstacles.
-fn overlap_with_others(
-    macros: &[MacroState],
-    mi: usize,
-    rect: &Rect,
-    obstacles: &[Rect],
-) -> f64 {
+fn overlap_with_others(macros: &[MacroState], mi: usize, rect: &Rect, obstacles: &[Rect]) -> f64 {
     let mut total = 0.0;
     for (i, other) in macros.iter().enumerate() {
         if i != mi {
@@ -375,12 +370,22 @@ mod tests {
     fn avoids_fixed_obstacles() {
         let mut b = DesignBuilder::new("obs", Rect::new(0.0, 0.0, 200.0, 200.0));
         let m0 = b.add_cell("m0", 30.0, 30.0, CellKind::Macro);
-        let blk =
-            b.add_cell_with("blk", 60.0, 60.0, CellKind::Macro, true, Point::new(100.0, 100.0));
+        let blk = b.add_cell_with(
+            "blk",
+            60.0,
+            60.0,
+            CellKind::Macro,
+            true,
+            Point::new(100.0, 100.0),
+        );
         let mut d = b.build();
         d.cells[m0.index()].pos = Point::new(110.0, 100.0); // atop the blockage
         let report = legalize_macros(&mut d, &MlgConfig::default());
-        assert!(report.legalized, "Om after = {}", report.macro_overlap_after);
+        assert!(
+            report.legalized,
+            "Om after = {}",
+            report.macro_overlap_after
+        );
         let mr = d.cells[m0.index()].rect();
         let br = d.cells[blk.index()].rect();
         assert_eq!(mr.overlap_area(&br), 0.0);

@@ -57,7 +57,14 @@ impl DesignBuilder {
         kind: CellKind,
     ) -> CellId {
         let fixed = kind == CellKind::Terminal;
-        self.add_cell_with(name, width, height, kind, fixed, self.design.region.center())
+        self.add_cell_with(
+            name,
+            width,
+            height,
+            kind,
+            fixed,
+            self.design.region.center(),
+        )
     }
 
     /// Adds a cell with explicit fixedness and position. Returns its id.
@@ -83,11 +90,7 @@ impl DesignBuilder {
     }
 
     /// Adds a unit-weight net over `(cell, pin-offset)` pairs. Returns its id.
-    pub fn add_net(
-        &mut self,
-        name: impl Into<String>,
-        pins: Vec<(CellId, Point)>,
-    ) -> NetId {
+    pub fn add_net(&mut self, name: impl Into<String>, pins: Vec<(CellId, Point)>) -> NetId {
         self.add_weighted_net(name, pins, 1.0)
     }
 
@@ -174,7 +177,10 @@ mod tests {
         let mut b = DesignBuilder::new("d", Rect::new(0.0, 0.0, 10.0, 10.0));
         let a = b.add_cell("a", 1.0, 1.0, CellKind::StdCell);
         // Two pins of one net land on the same cell (common in real netlists).
-        b.add_net("n", vec![(a, Point::new(-0.2, 0.0)), (a, Point::new(0.2, 0.0))]);
+        b.add_net(
+            "n",
+            vec![(a, Point::new(-0.2, 0.0)), (a, Point::new(0.2, 0.0))],
+        );
         let d = b.build();
         assert_eq!(d.cell_nets[0].len(), 1);
         assert_eq!(d.nets[0].degree(), 2);

@@ -1,9 +1,8 @@
 use eplace_geometry::{Point, Rect, Size};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a [`Cell`] within [`Design::cells`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CellId(pub u32);
 
 impl CellId {
@@ -21,7 +20,7 @@ impl fmt::Display for CellId {
 }
 
 /// Index of a [`Net`] within [`Design::nets`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NetId(pub u32);
 
 impl NetId {
@@ -43,7 +42,7 @@ impl fmt::Display for NetId {
 /// ePlace's contribution is that the optimizer treats every movable kind
 /// identically; the kind still matters for flow staging (which objects mLG
 /// legalizes, which cDP legalizes) and reporting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CellKind {
     /// Row-height standard cell.
     StdCell,
@@ -65,7 +64,7 @@ impl CellKind {
 }
 
 /// A placement object: standard cell, macro, fixed terminal or filler.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cell {
     /// Instance name (unique within the design).
     pub name: String,
@@ -103,7 +102,7 @@ impl Cell {
 
 /// One connection point of a net: the owning cell plus the pin's offset from
 /// the cell **center** (Bookshelf convention).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Pin {
     /// Owning cell.
     pub cell: CellId,
@@ -120,7 +119,7 @@ impl Pin {
 }
 
 /// A hyperedge of the netlist.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Net {
     /// Net name.
     pub name: String,
@@ -139,7 +138,7 @@ impl Net {
 }
 
 /// One standard-cell row from the `.scl` file.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Row {
     /// Left edge of the row.
     pub x: f64,
@@ -162,7 +161,7 @@ impl Row {
 }
 
 /// A complete placement instance: netlist + region + rows + density target.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Design {
     /// Benchmark name.
     pub name: String,

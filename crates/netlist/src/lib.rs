@@ -64,19 +64,13 @@ mod tests {
 
     #[test]
     fn pairwise_overlap_disjoint() {
-        let rects = vec![
-            Rect::new(0.0, 0.0, 1.0, 1.0),
-            Rect::new(2.0, 0.0, 3.0, 1.0),
-        ];
+        let rects = vec![Rect::new(0.0, 0.0, 1.0, 1.0), Rect::new(2.0, 0.0, 3.0, 1.0)];
         assert_eq!(total_pairwise_overlap(&rects), 0.0);
     }
 
     #[test]
     fn pairwise_overlap_pair() {
-        let rects = vec![
-            Rect::new(0.0, 0.0, 2.0, 2.0),
-            Rect::new(1.0, 0.0, 3.0, 2.0),
-        ];
+        let rects = vec![Rect::new(0.0, 0.0, 2.0, 2.0), Rect::new(1.0, 0.0, 3.0, 2.0)];
         assert_eq!(total_pairwise_overlap(&rects), 2.0);
     }
 
@@ -90,7 +84,10 @@ mod tests {
     #[test]
     fn pairwise_overlap_empty_and_single() {
         assert_eq!(total_pairwise_overlap(&[]), 0.0);
-        assert_eq!(total_pairwise_overlap(&[Rect::new(0.0, 0.0, 5.0, 5.0)]), 0.0);
+        assert_eq!(
+            total_pairwise_overlap(&[Rect::new(0.0, 0.0, 5.0, 5.0)]),
+            0.0
+        );
     }
 
     #[test]
@@ -99,7 +96,9 @@ mod tests {
         let mut rects = Vec::new();
         let mut state = 12345u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) * 50.0
         };
         for _ in 0..40 {

@@ -2,28 +2,42 @@
 
 use crate::{CellKind, DesignBuilder};
 use eplace_geometry::{Point, Rect};
-use proptest::prelude::*;
+use eplace_testkit::{check, Gen};
 
-fn arb_positions(n: usize) -> impl Strategy<Value = Vec<Point>> {
-    proptest::collection::vec(
-        (0.0f64..500.0, 0.0f64..500.0).prop_map(|(x, y)| Point::new(x, y)),
-        n,
-    )
+const CASES: u64 = 256;
+
+fn arb_positions(g: &mut Gen, n: usize) -> Vec<Point> {
+    (0..n)
+        .map(|_| Point::new(g.f64_range(0.0, 500.0), g.f64_range(0.0, 500.0)))
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn hpwl_is_translation_invariant(
-        pos in arb_positions(6),
-        dx in -100.0f64..100.0,
-        dy in -100.0f64..100.0,
-    ) {
+#[test]
+fn hpwl_is_translation_invariant() {
+    check("hpwl_is_translation_invariant", CASES, |g| {
+        let pos = arb_positions(g, 6);
+        let dx = g.f64_range(-100.0, 100.0);
+        let dy = g.f64_range(-100.0, 100.0);
         let mut b = DesignBuilder::new("t", Rect::new(0.0, 0.0, 1000.0, 1000.0));
         let ids: Vec<_> = (0..6)
             .map(|i| b.add_cell(format!("c{i}"), 1.0, 1.0, CellKind::StdCell))
             .collect();
-        b.add_net("a", vec![(ids[0], Point::ORIGIN), (ids[1], Point::ORIGIN), (ids[2], Point::ORIGIN)]);
-        b.add_net("b", vec![(ids[3], Point::ORIGIN), (ids[4], Point::ORIGIN), (ids[5], Point::ORIGIN)]);
+        b.add_net(
+            "a",
+            vec![
+                (ids[0], Point::ORIGIN),
+                (ids[1], Point::ORIGIN),
+                (ids[2], Point::ORIGIN),
+            ],
+        );
+        b.add_net(
+            "b",
+            vec![
+                (ids[3], Point::ORIGIN),
+                (ids[4], Point::ORIGIN),
+                (ids[5], Point::ORIGIN),
+            ],
+        );
         let mut d = b.build();
         for (id, p) in ids.iter().zip(&pos) {
             d.cells[id.index()].pos = *p;
@@ -33,11 +47,15 @@ proptest! {
             d.cells[id.index()].pos += Point::new(dx, dy);
         }
         let h2 = d.hpwl();
-        prop_assert!((h1 - h2).abs() < 1e-9 * h1.max(1.0));
-    }
+        assert!((h1 - h2).abs() < 1e-9 * h1.max(1.0));
+    });
+}
 
-    #[test]
-    fn hpwl_scales_linearly(pos in arb_positions(5), k in 0.1f64..10.0) {
+#[test]
+fn hpwl_scales_linearly() {
+    check("hpwl_scales_linearly", CASES, |g| {
+        let pos = arb_positions(g, 5);
+        let k = g.f64_range(0.1, 10.0);
         let mut b = DesignBuilder::new("t", Rect::new(0.0, 0.0, 10_000.0, 10_000.0));
         let ids: Vec<_> = (0..5)
             .map(|i| b.add_cell(format!("c{i}"), 1.0, 1.0, CellKind::StdCell))
@@ -52,12 +70,15 @@ proptest! {
             let p = d.cells[id.index()].pos;
             d.cells[id.index()].pos = Point::new(p.x * k, p.y * k);
         }
-        prop_assert!((d.hpwl() - k * h1).abs() < 1e-6 * (k * h1).max(1.0));
-    }
+        assert!((d.hpwl() - k * h1).abs() < 1e-6 * (k * h1).max(1.0));
+    });
+}
 
-    #[test]
-    fn hpwl_monotone_under_degree_growth(pos in arb_positions(6)) {
+#[test]
+fn hpwl_monotone_under_degree_growth() {
+    check("hpwl_monotone_under_degree_growth", CASES, |g| {
         // Adding a pin to a net can only grow (or keep) its HPWL.
+        let pos = arb_positions(g, 6);
         let build = |extra: bool| {
             let mut b = DesignBuilder::new("t", Rect::new(0.0, 0.0, 1000.0, 1000.0));
             let ids: Vec<_> = (0..6)
@@ -74,14 +95,15 @@ proptest! {
             }
             d.hpwl()
         };
-        prop_assert!(build(true) >= build(false) - 1e-9);
-    }
+        assert!(build(true) >= build(false) - 1e-9);
+    });
+}
 
-    #[test]
-    fn validate_accepts_all_builder_outputs(
-        n_cells in 1usize..12,
-        net_spec in proptest::collection::vec(proptest::collection::vec(0usize..12, 2..5), 0..8),
-    ) {
+#[test]
+fn validate_accepts_all_builder_outputs() {
+    check("validate_accepts_all_builder_outputs", CASES, |g| {
+        let n_cells = g.usize_range(1, 11);
+        let net_spec: Vec<Vec<usize>> = g.vec(0, 7, |g| g.vec(2, 4, |g| g.usize_range(0, 11)));
         let mut b = DesignBuilder::new("v", Rect::new(0.0, 0.0, 100.0, 100.0));
         let ids: Vec<_> = (0..n_cells)
             .map(|i| b.add_cell(format!("c{i}"), 1.0, 2.0, CellKind::StdCell))
@@ -94,7 +116,7 @@ proptest! {
             b.add_net(format!("n{k}"), pins);
         }
         let d = b.build();
-        prop_assert!(d.validate().is_ok(), "{:?}", d.validate());
+        assert!(d.validate().is_ok(), "{:?}", d.validate());
         // Degree bookkeeping is consistent with the nets.
         let total_incidences: usize = d.cell_nets.iter().map(Vec::len).sum();
         let distinct_per_net: usize = d
@@ -107,6 +129,6 @@ proptest! {
                 cells.len()
             })
             .sum();
-        prop_assert_eq!(total_incidences, distinct_per_net);
-    }
+        assert_eq!(total_incidences, distinct_per_net);
+    });
 }

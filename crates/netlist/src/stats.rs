@@ -1,5 +1,4 @@
 use crate::{CellKind, Design};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Summary statistics of a design, in the style of the benchmark tables in
@@ -18,7 +17,7 @@ use std::fmt;
 /// assert_eq!(stats.std_cells, 1);
 /// assert_eq!(stats.macros, 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DesignStats {
     /// Design name.
     pub name: String,

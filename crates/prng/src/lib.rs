@@ -1,0 +1,314 @@
+//! Self-contained deterministic PRNG for the ePlace reproduction.
+//!
+//! The workspace must build with no network access, so this crate replaces
+//! the `rand` dependency with a from-scratch xoshiro256++ generator (seeded
+//! via SplitMix64) behind the same call-site surface the code already used:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], [`Rng::gen`] and
+//! [`Rng::gen_range`] over integer and float ranges. Porting a call site is
+//! a one-line `use` swap.
+//!
+//! Streams are fully determined by the seed — identical across platforms,
+//! thread counts and runs — which the reproducibility tests rely on.
+//!
+//! # Examples
+//!
+//! ```
+//! use eplace_prng::rngs::StdRng;
+//! use eplace_prng::{Rng, SeedableRng};
+//!
+//! let mut a = StdRng::seed_from_u64(7);
+//! let mut b = StdRng::seed_from_u64(7);
+//! assert_eq!(a.gen::<f64>(), b.gen::<f64>());
+//! let x = a.gen_range(0..10usize);
+//! assert!(x < 10);
+//! let y = a.gen_range(-1.5..=1.5f64);
+//! assert!((-1.5..=1.5).contains(&y));
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// Generator namespace, mirroring `rand::rngs`.
+pub mod rngs {
+    pub use crate::StdRng;
+}
+
+/// xoshiro256++ — 256-bit state, 64-bit output, period 2²⁵⁶ − 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+/// SplitMix64 step, used to expand a 64-bit seed into the 256-bit state.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl StdRng {
+    /// Raw 64-bit output (the xoshiro256++ scrambler).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` from the top 53 bits.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Unbiased-enough integer in `[0, span)` via 128-bit widening multiply
+    /// (Lemire's method without the rejection step; the bias is < 2⁻⁶⁴·span,
+    /// irrelevant for benchmark synthesis and annealing).
+    #[inline]
+    fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+}
+
+/// Seeding — mirrors `rand::SeedableRng`'s `seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        // All-zero state is the one degenerate case; the SplitMix64 expansion
+        // of any seed never produces it, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            return StdRng { s: [1, 2, 3, 4] };
+        }
+        StdRng { s }
+    }
+}
+
+/// Sampling surface — mirrors the subset of `rand::Rng` the workspace uses.
+pub trait Rng {
+    /// A sample of `T` from its standard distribution (`f64` → `[0, 1)`,
+    /// `bool` → fair coin, integers → full range).
+    fn gen<T: Standard>(&mut self) -> T;
+
+    /// Uniform sample from `range` (half-open or inclusive, integer or
+    /// float).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output;
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for StdRng {
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    #[inline]
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample_from(self)
+    }
+
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+/// Types samplable by [`Rng::gen`].
+pub trait Standard: Sized {
+    fn sample(rng: &mut StdRng) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_f64()
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange {
+    type Output;
+    fn sample_from(self, rng: &mut StdRng) -> Self::Output;
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample_from(self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl SampleRange for RangeInclusive<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample_from(self, rng: &mut StdRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        // The hi endpoint has measure zero; sampling the half-open interval
+        // is indistinguishable in practice and keeps one code path.
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_from(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_from(self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                // span can be 2⁶⁴ for the full u64 range; widen through u128.
+                let draw = ((rng.next_u64() as u128 * span) >> 64) as u64;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(i32, i64, u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_near_half() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let a = rng.gen_range(3..=6);
+            assert!((3..=6).contains(&a));
+            let b = rng.gen_range(0..7usize);
+            assert!(b < 7);
+            let c = rng.gen_range(-2.5..=2.5f64);
+            assert!((-2.5..=2.5).contains(&c));
+            let d = rng.gen_range(10..11usize);
+            assert_eq!(d, 10);
+        }
+    }
+
+    #[test]
+    fn inclusive_integer_range_hits_both_endpoints() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..=3usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn degenerate_inclusive_range_is_constant() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(rng.gen_range(5.0..=5.0f64), 5.0);
+        assert_eq!(rng.gen_range(9..=9), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let _ = rng.gen_range(5..5usize);
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((hits as f64 / 100_000.0 - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn full_u64_inclusive_range_does_not_overflow() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let _ = rng.gen_range(0..=u64::MAX);
+    }
+}

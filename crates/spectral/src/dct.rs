@@ -34,6 +34,41 @@ pub struct DctPlan {
     fwd_twiddles: Vec<Complex>,
 }
 
+/// Reusable work buffers for the `*_scratch` transform variants.
+///
+/// The `*_into` entry points allocate these buffers on every call; a hot
+/// loop (the placer runs four grid transforms per Nesterov iteration)
+/// constructs one `DctScratch` per plan size and reuses it instead.
+#[derive(Debug, Clone)]
+pub struct DctScratch {
+    /// Complex FFT workspace.
+    freq: Vec<Complex>,
+    /// Real workspace for the DST coefficient reversal.
+    reversed: Vec<f64>,
+}
+
+impl DctScratch {
+    /// Scratch sized for a plan of length `size`.
+    pub fn new(size: usize) -> Self {
+        DctScratch {
+            freq: vec![Complex::ZERO; size],
+            reversed: vec![0.0; size],
+        }
+    }
+
+    /// The plan size this scratch serves.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.freq.len()
+    }
+
+    /// `true` for size-zero scratch (never produced by the solver).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.freq.is_empty()
+    }
+}
+
 impl DctPlan {
     /// Builds a plan for transforms of length `size`.
     ///
@@ -74,27 +109,38 @@ impl DctPlan {
         out
     }
 
-    /// [`DctPlan::dct2`] writing into a caller-provided buffer (hot-path
-    /// variant used by the 2-D transforms).
+    /// [`DctPlan::dct2`] writing into a caller-provided buffer (allocates
+    /// scratch; prefer [`DctPlan::dct2_scratch`] in loops).
     ///
     /// # Panics
     ///
     /// Panics if either slice length differs from the plan size.
     pub fn dct2_into(&self, input: &[f64], out: &mut [f64]) {
+        self.dct2_scratch(input, out, &mut DctScratch::new(self.size));
+    }
+
+    /// [`DctPlan::dct2`] using caller-owned scratch, so repeated transforms
+    /// are allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice or scratch length differs from the plan size.
+    pub fn dct2_scratch(&self, input: &[f64], out: &mut [f64], scratch: &mut DctScratch) {
         let n = self.size;
         assert_eq!(input.len(), n, "dct2 input length mismatch");
         assert_eq!(out.len(), n, "dct2 output length mismatch");
+        assert_eq!(scratch.len(), n, "dct2 scratch length mismatch");
         if n == 1 {
             out[0] = input[0];
             return;
         }
         // Makhoul repacking: even-indexed samples ascending, odd descending.
-        let mut buf = vec![Complex::ZERO; n];
+        let buf = &mut scratch.freq;
         for i in 0..n / 2 {
             buf[i] = Complex::from(input[2 * i]);
             buf[n - 1 - i] = Complex::from(input[2 * i + 1]);
         }
-        self.fft.forward(&mut buf);
+        self.fft.forward(buf);
         for u in 0..n {
             out[u] = (buf[u] * self.fwd_twiddles[u]).re;
         }
@@ -111,28 +157,39 @@ impl DctPlan {
         out
     }
 
-    /// [`DctPlan::idct2`] writing into a caller-provided buffer.
+    /// [`DctPlan::idct2`] writing into a caller-provided buffer (allocates
+    /// scratch; prefer [`DctPlan::idct2_scratch`] in loops).
     ///
     /// # Panics
     ///
     /// Panics if either slice length differs from the plan size.
     pub fn idct2_into(&self, coeffs: &[f64], out: &mut [f64]) {
+        self.idct2_scratch(coeffs, out, &mut DctScratch::new(self.size));
+    }
+
+    /// [`DctPlan::idct2`] using caller-owned scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice or scratch length differs from the plan size.
+    pub fn idct2_scratch(&self, coeffs: &[f64], out: &mut [f64], scratch: &mut DctScratch) {
         let n = self.size;
         assert_eq!(coeffs.len(), n, "idct2 input length mismatch");
         assert_eq!(out.len(), n, "idct2 output length mismatch");
+        assert_eq!(scratch.len(), n, "idct2 scratch length mismatch");
         if n == 1 {
             out[0] = coeffs[0];
             return;
         }
         // Rebuild the FFT spectrum: V[u] = e^{iπu/(2N)}·(X[u] − i·X[N−u]),
         // with X[N] ≡ 0.
-        let mut buf = vec![Complex::ZERO; n];
+        let buf = &mut scratch.freq;
         buf[0] = Complex::from(coeffs[0]);
         for u in 1..n {
             let z = Complex::new(coeffs[u], -coeffs[n - u]);
             buf[u] = z * self.fwd_twiddles[u].conj();
         }
-        self.fft.inverse(&mut buf);
+        self.fft.inverse(buf);
         for i in 0..n / 2 {
             out[2 * i] = buf[i].re;
             out[2 * i + 1] = buf[n - 1 - i].re;
@@ -153,13 +210,23 @@ impl DctPlan {
         out
     }
 
-    /// [`DctPlan::dct3`] writing into a caller-provided buffer.
+    /// [`DctPlan::dct3`] writing into a caller-provided buffer (allocates
+    /// scratch; prefer [`DctPlan::dct3_scratch`] in loops).
     ///
     /// # Panics
     ///
     /// Panics if either slice length differs from the plan size.
     pub fn dct3_into(&self, coeffs: &[f64], out: &mut [f64]) {
-        self.idct2_into(coeffs, out);
+        self.dct3_scratch(coeffs, out, &mut DctScratch::new(self.size));
+    }
+
+    /// [`DctPlan::dct3`] using caller-owned scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice or scratch length differs from the plan size.
+    pub fn dct3_scratch(&self, coeffs: &[f64], out: &mut [f64], scratch: &mut DctScratch) {
+        self.idct2_scratch(coeffs, out, scratch);
         let scale = self.size as f64 / 2.0;
         for v in out.iter_mut() {
             *v *= scale;
@@ -186,24 +253,39 @@ impl DctPlan {
         out
     }
 
-    /// [`DctPlan::dst3`] writing into a caller-provided buffer.
+    /// [`DctPlan::dst3`] writing into a caller-provided buffer (allocates
+    /// scratch; prefer [`DctPlan::dst3_scratch`] in loops).
     ///
     /// # Panics
     ///
     /// Panics if either slice length differs from the plan size.
     pub fn dst3_into(&self, coeffs: &[f64], out: &mut [f64]) {
+        self.dst3_scratch(coeffs, out, &mut DctScratch::new(self.size));
+    }
+
+    /// [`DctPlan::dst3`] using caller-owned scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice or scratch length differs from the plan size.
+    pub fn dst3_scratch(&self, coeffs: &[f64], out: &mut [f64], scratch: &mut DctScratch) {
         let n = self.size;
         assert_eq!(coeffs.len(), n, "dst3 input length mismatch");
         assert_eq!(out.len(), n, "dst3 output length mismatch");
+        assert_eq!(scratch.len(), n, "dst3 scratch length mismatch");
         if n == 1 {
             out[0] = 0.0;
             return;
         }
-        let mut reversed = vec![0.0; n];
+        // Pull `reversed` out of the scratch so `dct3_scratch` below can
+        // borrow the remaining (complex) workspace.
+        let mut reversed = std::mem::take(&mut scratch.reversed);
+        reversed[0] = 0.0; // sin(0) basis row; must not carry stale scratch
         for u in 1..n {
             reversed[u] = coeffs[n - u];
         }
-        self.dct3_into(&reversed, out);
+        self.dct3_scratch(&reversed, out, scratch);
+        scratch.reversed = reversed;
         for (i, v) in out.iter_mut().enumerate() {
             if i % 2 == 1 {
                 *v = -*v;

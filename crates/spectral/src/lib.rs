@@ -49,7 +49,7 @@ pub mod reference;
 mod transform2d;
 
 pub use complex::Complex;
-pub use dct::DctPlan;
+pub use dct::{DctPlan, DctScratch};
 pub use fft::FftPlan;
 pub use transform2d::Transform2d;
 

@@ -1,30 +1,35 @@
 //! Property-based tests of the transform algebra.
 
-use crate::{reference, Complex, DctPlan, FftPlan};
-use proptest::prelude::*;
+use crate::{reference, Complex, DctPlan, DctScratch, FftPlan, Transform2d};
+use eplace_testkit::{check, Gen};
 
-proptest! {
-    #[test]
-    fn fft_parseval(values in proptest::collection::vec(-100.0f64..100.0, 64)) {
-        let input: Vec<Complex> = values
-            .chunks(2)
-            .map(|c| Complex::new(c[0], c[1]))
-            .collect();
+const CASES: u64 = 256;
+
+fn arb_vec(g: &mut Gen, len: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..len).map(|_| g.f64_range(lo, hi)).collect()
+}
+
+#[test]
+fn fft_parseval() {
+    check("fft_parseval", CASES, |g| {
+        let values = arb_vec(g, 64, -100.0, 100.0);
+        let input: Vec<Complex> = values.chunks(2).map(|c| Complex::new(c[0], c[1])).collect();
         let plan = FftPlan::new(32);
         let mut freq = input.clone();
         plan.forward(&mut freq);
         let time_energy: f64 = input.iter().map(|z| z.norm_sq()).sum();
         let freq_energy: f64 = freq.iter().map(|z| z.norm_sq()).sum::<f64>() / 32.0;
-        prop_assert!((time_energy - freq_energy).abs() < 1e-6 * time_energy.max(1.0));
-    }
+        assert!((time_energy - freq_energy).abs() < 1e-6 * time_energy.max(1.0));
+    });
+}
 
-    #[test]
-    fn fft_convolution_theorem(
-        a in proptest::collection::vec(-10.0f64..10.0, 16),
-        b in proptest::collection::vec(-10.0f64..10.0, 16),
-    ) {
+#[test]
+fn fft_convolution_theorem() {
+    check("fft_convolution_theorem", CASES, |g| {
         // Circular convolution in time = pointwise product in frequency.
         let n = 16;
+        let a = arb_vec(g, n, -10.0, 10.0);
+        let b = arb_vec(g, n, -10.0, 10.0);
         let plan = FftPlan::new(n);
         let ca: Vec<Complex> = a.iter().map(|&v| Complex::from(v)).collect();
         let cb: Vec<Complex> = b.iter().map(|&v| Complex::from(v)).collect();
@@ -43,44 +48,176 @@ proptest! {
         let mut prod: Vec<Complex> = fa.iter().zip(&fb).map(|(x, y)| *x * *y).collect();
         plan.inverse(&mut prod);
         for (d, p) in direct.iter().zip(&prod) {
-            prop_assert!((*d - *p).norm() < 1e-7, "{d} vs {p}");
+            assert!((*d - *p).norm() < 1e-7, "{d} vs {p}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn dct_linearity(
-        a in proptest::collection::vec(-50.0f64..50.0, 16),
-        b in proptest::collection::vec(-50.0f64..50.0, 16),
-        s in -3.0f64..3.0,
-    ) {
+#[test]
+fn dct_linearity() {
+    check("dct_linearity", CASES, |g| {
+        let a = arb_vec(g, 16, -50.0, 50.0);
+        let b = arb_vec(g, 16, -50.0, 50.0);
+        let s = g.f64_range(-3.0, 3.0);
         let plan = DctPlan::new(16);
         let combo: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + s * y).collect();
         let ca = plan.dct2(&a);
         let cb = plan.dct2(&b);
         let cc = plan.dct2(&combo);
         for i in 0..16 {
-            prop_assert!((cc[i] - (ca[i] + s * cb[i])).abs() < 1e-8);
+            assert!((cc[i] - (ca[i] + s * cb[i])).abs() < 1e-8);
         }
-    }
+    });
+}
 
-    #[test]
-    fn dst3_matches_reference_on_arbitrary_coeffs(
-        coeffs in proptest::collection::vec(-20.0f64..20.0, 32),
-    ) {
+#[test]
+fn dst3_matches_reference_on_arbitrary_coeffs() {
+    check("dst3_matches_reference_on_arbitrary_coeffs", CASES, |g| {
+        let coeffs = arb_vec(g, 32, -20.0, 20.0);
         let plan = DctPlan::new(32);
         let fast = plan.dst3(&coeffs);
         let slow = reference::naive_dst3(&coeffs);
         for (a, b) in fast.iter().zip(&slow) {
-            prop_assert!((a - b).abs() < 1e-8);
+            assert!((a - b).abs() < 1e-8);
         }
-    }
+    });
+}
 
-    #[test]
-    fn dct2_idct2_roundtrip_arbitrary(values in proptest::collection::vec(-1e3f64..1e3, 64)) {
+#[test]
+fn dct2_idct2_roundtrip_arbitrary() {
+    check("dct2_idct2_roundtrip_arbitrary", CASES, |g| {
+        let values = arb_vec(g, 64, -1e3, 1e3);
         let plan = DctPlan::new(64);
         let back = plan.idct2(&plan.dct2(&values));
         for (a, b) in back.iter().zip(&values) {
-            prop_assert!((a - b).abs() < 1e-7 * (1.0 + b.abs()));
+            assert!((a - b).abs() < 1e-7 * (1.0 + b.abs()));
+        }
+    });
+}
+
+/// Random power-of-two transform length in `[2^min_exp, 2^max_exp]`.
+fn arb_pow2(g: &mut Gen, min_exp: usize, max_exp: usize) -> usize {
+    1 << g.usize_range(min_exp, max_exp)
+}
+
+#[test]
+fn dct2_idct2_roundtrip_under_scratch_reuse() {
+    check("dct2_idct2_roundtrip_under_scratch_reuse", CASES, |g| {
+        // One DctScratch serves many transforms; reused scratch must be
+        // bitwise identical to the allocating `_into` entry points.
+        let n = arb_pow2(g, 1, 7);
+        let plan = DctPlan::new(n);
+        let mut scratch = DctScratch::new(n);
+        let mut coeffs = vec![0.0; n];
+        let mut back = vec![0.0; n];
+        for _ in 0..3 {
+            let values = arb_vec(g, n, -1e3, 1e3);
+            plan.dct2_scratch(&values, &mut coeffs, &mut scratch);
+            assert_eq!(coeffs, plan.dct2(&values), "n {n}");
+            plan.idct2_scratch(&coeffs, &mut back, &mut scratch);
+            assert_eq!(back, plan.idct2(&coeffs), "n {n}");
+            for (a, b) in back.iter().zip(&values) {
+                assert!((a - b).abs() < 1e-7 * (1.0 + b.abs()), "n {n}");
+            }
+        }
+    });
+}
+
+#[test]
+fn dst3_scratch_reuse_matches_reference() {
+    check("dst3_scratch_reuse_matches_reference", CASES, |g| {
+        // The DST path reverses coefficients inside the scratch; stale
+        // contents from earlier calls must not leak into later ones.
+        let n = arb_pow2(g, 1, 6);
+        let plan = DctPlan::new(n);
+        let mut scratch = DctScratch::new(n);
+        let mut out = vec![0.0; n];
+        for _ in 0..3 {
+            let coeffs = arb_vec(g, n, -20.0, 20.0);
+            plan.dst3_scratch(&coeffs, &mut out, &mut scratch);
+            let slow = reference::naive_dst3(&coeffs);
+            for (a, b) in out.iter().zip(&slow) {
+                assert!((a - b).abs() < 1e-8, "n {n}");
+            }
+        }
+    });
+}
+
+#[test]
+fn transform2d_roundtrips_on_arbitrary_grids_with_reuse() {
+    check(
+        "transform2d_roundtrips_on_arbitrary_grids_with_reuse",
+        64,
+        |g| {
+            // Repeated solves reuse one Transform2d (and its scratch) across
+            // iterations — exactly the placer's usage — on non-square grids too.
+            let nx = arb_pow2(g, 1, 5);
+            let ny = arb_pow2(g, 1, 5);
+            let mut t = Transform2d::new(nx, ny);
+            let scale = (nx as f64 / 2.0) * (ny as f64 / 2.0);
+            for _ in 0..3 {
+                let data = arb_vec(g, nx * ny, -100.0, 100.0);
+                let mut work = data.clone();
+                t.dct2(&mut work);
+                t.dct3(&mut work);
+                for (a, b) in work.iter().zip(&data) {
+                    assert!((a - scale * b).abs() < 1e-7 * (1.0 + b.abs()), "{nx}x{ny}");
+                }
+            }
+        },
+    );
+}
+
+#[test]
+fn transform2d_dst_syntheses_with_reuse_match_naive() {
+    check(
+        "transform2d_dst_syntheses_with_reuse_match_naive",
+        48,
+        |g| {
+            let nx = arb_pow2(g, 1, 4);
+            let ny = arb_pow2(g, 1, 4);
+            let mut t = Transform2d::new(nx, ny);
+            for _ in 0..2 {
+                let data = arb_vec(g, nx * ny, -10.0, 10.0);
+                let mut fx = data.clone();
+                t.dst3_x(&mut fx);
+                let mut fy = data.clone();
+                t.dst3_y(&mut fy);
+                // Naive separable references.
+                let slow_x = naive_2d(&data, nx, ny, reference::naive_dst3, reference::naive_dct3);
+                let slow_y = naive_2d(&data, nx, ny, reference::naive_dct3, reference::naive_dst3);
+                for (a, b) in fx.iter().zip(&slow_x) {
+                    assert!((a - b).abs() < 1e-8, "dst3_x {nx}x{ny}");
+                }
+                for (a, b) in fy.iter().zip(&slow_y) {
+                    assert!((a - b).abs() < 1e-8, "dst3_y {nx}x{ny}");
+                }
+            }
+        },
+    );
+}
+
+/// Naive 2-D transform: `fx` over x then `fy` over y (mirror of the unit
+/// tests' helper, local to keep the modules independent).
+fn naive_2d(
+    data: &[f64],
+    nx: usize,
+    ny: usize,
+    fx: fn(&[f64]) -> Vec<f64>,
+    fy: fn(&[f64]) -> Vec<f64>,
+) -> Vec<f64> {
+    let mut out = data.to_vec();
+    for iy in 0..ny {
+        let row: Vec<f64> = (0..nx).map(|ix| out[iy * nx + ix]).collect();
+        let t = fx(&row);
+        out[iy * nx..(iy + 1) * nx].copy_from_slice(&t);
+    }
+    for ix in 0..nx {
+        let col: Vec<f64> = (0..ny).map(|iy| out[iy * nx + ix]).collect();
+        let t = fy(&col);
+        for iy in 0..ny {
+            out[iy * nx + ix] = t[iy];
         }
     }
+    out
 }

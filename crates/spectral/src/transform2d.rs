@@ -1,4 +1,6 @@
+use crate::dct::DctScratch;
 use crate::DctPlan;
+use eplace_exec::{for_each_unit, ExecConfig};
 
 /// Which 1-D kernel a pass applies along an axis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,9 +19,15 @@ enum Kernel {
 /// * synthesis [`Transform2d::dst3_x`] — field ξx (`sin` in x, `cos` in y),
 /// * synthesis [`Transform2d::dst3_y`] — field ξy (`cos` in x, `sin` in y).
 ///
-/// The object owns scratch buffers, so calls are allocation-free after
-/// construction; this matters because the placer transforms the grid four
-/// times per optimizer iteration.
+/// The object owns scratch buffers (including the [`DctScratch`] FFT
+/// workspace), so calls are allocation-free after construction; this matters
+/// because the placer transforms the grid four times per optimizer
+/// iteration.
+///
+/// With [`Transform2d::set_exec`] the row pass, both transposes, and the
+/// column pass run on scoped worker threads. Every parallel unit (one row or
+/// one column) is written by exactly one worker, so the result is bitwise
+/// identical for every thread count, including the serial default.
 ///
 /// # Examples
 ///
@@ -44,10 +52,14 @@ pub struct Transform2d {
     plan_y: DctPlan,
     row_buf: Vec<f64>,
     transpose_buf: Vec<f64>,
+    scratch_x: DctScratch,
+    scratch_y: DctScratch,
+    exec: ExecConfig,
 }
 
 impl Transform2d {
-    /// Builds transforms for an `nx × ny` grid.
+    /// Builds transforms for an `nx × ny` grid (serial execution; see
+    /// [`Transform2d::set_exec`]).
     ///
     /// # Panics
     ///
@@ -60,7 +72,21 @@ impl Transform2d {
             plan_y: DctPlan::new(ny),
             row_buf: vec![0.0; nx.max(ny)],
             transpose_buf: vec![0.0; nx * ny],
+            scratch_x: DctScratch::new(nx),
+            scratch_y: DctScratch::new(ny),
+            exec: ExecConfig::serial(),
         }
+    }
+
+    /// Sets the execution configuration for subsequent transforms.
+    pub fn set_exec(&mut self, exec: ExecConfig) {
+        self.exec = exec;
+    }
+
+    /// Builder form of [`Transform2d::set_exec`].
+    pub fn with_exec(mut self, exec: ExecConfig) -> Self {
+        self.exec = exec;
+        self
     }
 
     /// Grid width (number of columns / x-bins).
@@ -125,35 +151,113 @@ impl Transform2d {
             self.nx,
             self.ny
         );
+        if self.exec.is_serial() {
+            self.apply_serial(data, kernel_x, kernel_y);
+        } else {
+            self.apply_parallel(data, kernel_x, kernel_y);
+        }
+    }
+
+    /// The single-threaded path, using the object-owned scratch.
+    fn apply_serial(&mut self, data: &mut [f64], kernel_x: Kernel, kernel_y: Kernel) {
+        let (nx, ny) = (self.nx, self.ny);
         // Pass 1: rows (x-direction), contiguous.
-        for iy in 0..self.ny {
-            let row = &mut data[iy * self.nx..(iy + 1) * self.nx];
-            Self::run_kernel(&self.plan_x, kernel_x, row, &mut self.row_buf[..self.nx]);
+        for iy in 0..ny {
+            let row = &mut data[iy * nx..(iy + 1) * nx];
+            Self::run_kernel(
+                &self.plan_x,
+                kernel_x,
+                row,
+                &mut self.row_buf[..nx],
+                &mut self.scratch_x,
+            );
         }
         // Pass 2: columns (y-direction) via transpose.
-        for iy in 0..self.ny {
-            for ix in 0..self.nx {
-                self.transpose_buf[ix * self.ny + iy] = data[iy * self.nx + ix];
+        for iy in 0..ny {
+            for ix in 0..nx {
+                self.transpose_buf[ix * ny + iy] = data[iy * nx + ix];
             }
         }
-        for ix in 0..self.nx {
-            let col = &mut self.transpose_buf[ix * self.ny..(ix + 1) * self.ny];
-            Self::run_kernel(&self.plan_y, kernel_y, col, &mut self.row_buf[..self.ny]);
+        for ix in 0..nx {
+            let col = &mut self.transpose_buf[ix * ny..(ix + 1) * ny];
+            Self::run_kernel(
+                &self.plan_y,
+                kernel_y,
+                col,
+                &mut self.row_buf[..ny],
+                &mut self.scratch_y,
+            );
         }
-        for iy in 0..self.ny {
-            for ix in 0..self.nx {
-                data[iy * self.nx + ix] = self.transpose_buf[ix * self.ny + iy];
+        for iy in 0..ny {
+            for ix in 0..nx {
+                data[iy * nx + ix] = self.transpose_buf[ix * ny + iy];
             }
         }
     }
 
-    fn run_kernel(plan: &DctPlan, kernel: Kernel, line: &mut [f64], scratch: &mut [f64]) {
-        match kernel {
-            Kernel::Dct2 => plan.dct2_into(line, scratch),
-            Kernel::Dct3 => plan.dct3_into(line, scratch),
-            Kernel::Dst3 => plan.dst3_into(line, scratch),
+    /// The multi-threaded path. Each parallel unit (row, column, or
+    /// transpose line) is written by exactly one worker with its own
+    /// scratch, so the output is bitwise identical to the serial path.
+    fn apply_parallel(&mut self, data: &mut [f64], kernel_x: Kernel, kernel_y: Kernel) {
+        let (nx, ny) = (self.nx, self.ny);
+        let exec = self.exec;
+        let plan_x = &self.plan_x;
+        for_each_unit(
+            &exec,
+            data,
+            nx,
+            || (vec![0.0; nx], DctScratch::new(nx)),
+            |_, row, (buf, scratch)| Self::run_kernel(plan_x, kernel_x, row, buf, scratch),
+        );
+        {
+            let src: &[f64] = data;
+            for_each_unit(
+                &exec,
+                &mut self.transpose_buf,
+                ny,
+                || (),
+                |ix, col, _| {
+                    for (iy, v) in col.iter_mut().enumerate() {
+                        *v = src[iy * nx + ix];
+                    }
+                },
+            );
         }
-        line.copy_from_slice(scratch);
+        let plan_y = &self.plan_y;
+        for_each_unit(
+            &exec,
+            &mut self.transpose_buf,
+            ny,
+            || (vec![0.0; ny], DctScratch::new(ny)),
+            |_, col, (buf, scratch)| Self::run_kernel(plan_y, kernel_y, col, buf, scratch),
+        );
+        let src: &[f64] = &self.transpose_buf;
+        for_each_unit(
+            &exec,
+            data,
+            nx,
+            || (),
+            |iy, row, _| {
+                for (ix, v) in row.iter_mut().enumerate() {
+                    *v = src[ix * ny + iy];
+                }
+            },
+        );
+    }
+
+    fn run_kernel(
+        plan: &DctPlan,
+        kernel: Kernel,
+        line: &mut [f64],
+        buf: &mut [f64],
+        scratch: &mut DctScratch,
+    ) {
+        match kernel {
+            Kernel::Dct2 => plan.dct2_scratch(line, buf, scratch),
+            Kernel::Dct3 => plan.dct3_scratch(line, buf, scratch),
+            Kernel::Dst3 => plan.dst3_scratch(line, buf, scratch),
+        }
+        line.copy_from_slice(buf);
     }
 }
 
@@ -279,5 +383,34 @@ mod tests {
         let t = Transform2d::new(4, 8);
         assert_eq!(t.nx(), 4);
         assert_eq!(t.ny(), 8);
+    }
+
+    #[test]
+    fn parallel_transforms_are_bitwise_serial() {
+        // Rows/columns are disjoint parallel units, so any thread count must
+        // reproduce the serial bits exactly — including non-square grids.
+        for &(nx, ny) in &[(8usize, 8usize), (16, 4), (4, 32)] {
+            let data = grid(nx, ny);
+            for op in 0..4 {
+                let run = |threads: usize| {
+                    let mut t = Transform2d::new(nx, ny)
+                        .with_exec(eplace_exec::ExecConfig::with_threads(threads));
+                    let mut w = data.clone();
+                    match op {
+                        0 => t.dct2(&mut w),
+                        1 => t.dct3(&mut w),
+                        2 => t.dst3_x(&mut w),
+                        _ => t.dst3_y(&mut w),
+                    }
+                    w
+                };
+                let serial = run(1);
+                for threads in [2, 3, 8] {
+                    let par = run(threads);
+                    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                    assert_eq!(bits(&serial), bits(&par), "{nx}x{ny} op {op} t {threads}");
+                }
+            }
+        }
     }
 }

@@ -85,13 +85,7 @@ pub trait SmoothWirelength {
     /// Evaluates the smooth wirelength and writes `∂W̃/∂(x_i, y_i)` for every
     /// cell into `grad` (fixed cells included — callers mask them).
     /// Returns the smooth wirelength.
-    fn gradient(
-        &mut self,
-        design: &Design,
-        pos: &[Point],
-        gamma: f64,
-        grad: &mut [Point],
-    ) -> f64;
+    fn gradient(&mut self, design: &Design, pos: &[Point], gamma: f64, grad: &mut [Point]) -> f64;
 }
 
 #[cfg(test)]

@@ -65,8 +65,8 @@ impl LseModel {
         }
         if let Some(g) = grad {
             // ∂W̃/∂xⱼ = softmax⁺ⱼ − softmax⁻ⱼ
-            for j in 0..k {
-                g[j] = self.exp_pos[j] / d_pos - self.exp_neg[j] / d_neg;
+            for (j, gj) in g.iter_mut().enumerate().take(k) {
+                *gj = self.exp_pos[j] / d_pos - self.exp_neg[j] / d_neg;
             }
         }
         // ln Σ e^{x/γ} = ln d_pos + hi/γ, similarly for the negative side.
@@ -125,13 +125,7 @@ impl SmoothWirelength for LseModel {
         self.run(design, pos, gamma, None)
     }
 
-    fn gradient(
-        &mut self,
-        design: &Design,
-        pos: &[Point],
-        gamma: f64,
-        grad: &mut [Point],
-    ) -> f64 {
+    fn gradient(&mut self, design: &Design, pos: &[Point], gamma: f64, grad: &mut [Point]) -> f64 {
         assert!(
             grad.len() >= design.cells.len(),
             "gradient buffer too small"
@@ -152,9 +146,23 @@ mod tests {
         let ids: Vec<_> = (0..6)
             .map(|i| b.add_cell(format!("c{i}"), 1.0, 1.0, CellKind::StdCell))
             .collect();
-        b.add_net("a", vec![(ids[0], Point::ORIGIN), (ids[1], Point::ORIGIN), (ids[2], Point::ORIGIN)]);
+        b.add_net(
+            "a",
+            vec![
+                (ids[0], Point::ORIGIN),
+                (ids[1], Point::ORIGIN),
+                (ids[2], Point::ORIGIN),
+            ],
+        );
         b.add_net("b", vec![(ids[2], Point::ORIGIN), (ids[3], Point::ORIGIN)]);
-        b.add_net("c", vec![(ids[3], Point::ORIGIN), (ids[4], Point::ORIGIN), (ids[5], Point::ORIGIN)]);
+        b.add_net(
+            "c",
+            vec![
+                (ids[3], Point::ORIGIN),
+                (ids[4], Point::ORIGIN),
+                (ids[5], Point::ORIGIN),
+            ],
+        );
         let d = b.build();
         let pos: Vec<Point> = (0..6)
             .map(|i| Point::new((i * 13 % 29) as f64, (i * 7 % 23) as f64))

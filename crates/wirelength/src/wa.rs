@@ -1,28 +1,15 @@
 use crate::SmoothWirelength;
+use eplace_exec::{deterministic_chunks, map_chunks, ExecConfig};
 use eplace_geometry::Point;
 use eplace_netlist::{Design, Net};
 
-/// The weighted-average (WA) smooth wirelength model (paper Eq. 3).
-///
-/// Per net and axis the max (min) coordinate is approximated by
-///
-/// ```text
-/// max ≈ Σ xᵢ·e^{ xᵢ/γ} / Σ e^{ xᵢ/γ}
-/// min ≈ Σ xᵢ·e^{−xᵢ/γ} / Σ e^{−xᵢ/γ}
-/// ```
-///
-/// so the smooth net length is `(max̃ − miñ)` per axis. WA always
-/// *underestimates* HPWL, with an `O(γ)` error per net; `γ` is tightened as
-/// the placement spreads out (see [`crate::GammaSchedule`]).
-///
-/// Exponentials are shifted by the per-net max/min coordinate before
-/// evaluation, so arbitrarily spread nets never overflow.
-///
-/// The struct owns all scratch buffers, making evaluation and gradient
-/// computation allocation-free — wirelength gradients are 29 % of mGP
-/// runtime in the paper (Fig. 7), so the hot path matters.
+/// Nets below this count are not worth fanning out to worker threads.
+const MIN_PARALLEL_NETS: usize = 64;
+
+/// Per-worker scratch for one net's WA evaluation: exponent tables, pin
+/// coordinates, and per-pin axis derivatives.
 #[derive(Debug, Clone)]
-pub struct WaModel {
+struct NetScratch {
     exp_pos: Vec<f64>,
     exp_neg: Vec<f64>,
     coords: Vec<f64>,
@@ -30,11 +17,9 @@ pub struct WaModel {
     grad_y: Vec<f64>,
 }
 
-impl WaModel {
-    /// Creates a model with scratch space sized for `design`'s largest net.
-    pub fn new(design: &Design) -> Self {
-        let max_degree = design.nets.iter().map(Net::degree).max().unwrap_or(0);
-        WaModel {
+impl NetScratch {
+    fn with_degree(max_degree: usize) -> Self {
+        NetScratch {
             exp_pos: vec![0.0; max_degree],
             exp_neg: vec![0.0; max_degree],
             coords: vec![0.0; max_degree],
@@ -54,8 +39,8 @@ impl WaModel {
     }
 
     /// Smooth length of one net along one axis. `self.coords[..k]` must hold
-    /// the pin coordinates. Per-pin derivatives are written to
-    /// `grad_out[..k]` when provided.
+    /// the pin coordinates. Per-pin derivatives are written to the axis
+    /// scratch when requested.
     fn axis_value(&mut self, k: usize, gamma: f64, want_grad: bool, use_y_scratch: bool) -> f64 {
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
@@ -98,6 +83,95 @@ impl WaModel {
         s_pos / d_pos - s_neg / d_neg
     }
 
+    /// Weighted smooth length of `net`, accumulating per-cell derivatives
+    /// into `grad` when provided. The caller skips nets with fewer than two
+    /// pins.
+    fn net_value(
+        &mut self,
+        net: &Net,
+        pos: &[Point],
+        gamma: f64,
+        grad: Option<&mut [Point]>,
+    ) -> f64 {
+        let k = net.pins.len();
+        self.reserve(k);
+        let want = grad.is_some();
+        let w = net.weight;
+        for (j, pin) in net.pins.iter().enumerate() {
+            self.coords[j] = pos[pin.cell.index()].x + pin.offset.x;
+        }
+        let wx = self.axis_value(k, gamma, want, false);
+        for (j, pin) in net.pins.iter().enumerate() {
+            self.coords[j] = pos[pin.cell.index()].y + pin.offset.y;
+        }
+        let wy = self.axis_value(k, gamma, want, true);
+        if let Some(g) = grad {
+            for (j, pin) in net.pins.iter().enumerate() {
+                let slot = &mut g[pin.cell.index()];
+                slot.x += w * self.grad_x[j];
+                slot.y += w * self.grad_y[j];
+            }
+        }
+        w * (wx + wy)
+    }
+}
+
+/// The weighted-average (WA) smooth wirelength model (paper Eq. 3).
+///
+/// Per net and axis the max (min) coordinate is approximated by
+///
+/// ```text
+/// max ≈ Σ xᵢ·e^{ xᵢ/γ} / Σ e^{ xᵢ/γ}
+/// min ≈ Σ xᵢ·e^{−xᵢ/γ} / Σ e^{−xᵢ/γ}
+/// ```
+///
+/// so the smooth net length is `(max̃ − miñ)` per axis. WA always
+/// *underestimates* HPWL, with an `O(γ)` error per net; `γ` is tightened as
+/// the placement spreads out (see [`crate::GammaSchedule`]).
+///
+/// Exponentials are shifted by the per-net max/min coordinate before
+/// evaluation, so arbitrarily spread nets never overflow.
+///
+/// The struct owns all scratch buffers, making evaluation and gradient
+/// computation allocation-free — wirelength gradients are 29 % of mGP
+/// runtime in the paper (Fig. 7), so the hot path matters.
+///
+/// With [`WaModel::set_exec`] the per-net loop fans out across worker
+/// threads: nets are split into chunks whose boundaries depend only on the
+/// net count, each chunk accumulates into its own scratch gradient, and the
+/// partials are reduced in chunk order — so results are identical for every
+/// thread count ≥ 2 and within rounding (`≤ 1e-9` relative) of the serial
+/// path. The serial default reproduces the historical code bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct WaModel {
+    scratch: NetScratch,
+    max_degree: usize,
+    exec: ExecConfig,
+}
+
+impl WaModel {
+    /// Creates a model with scratch space sized for `design`'s largest net
+    /// (serial execution; see [`WaModel::set_exec`]).
+    pub fn new(design: &Design) -> Self {
+        let max_degree = design.nets.iter().map(Net::degree).max().unwrap_or(0);
+        WaModel {
+            scratch: NetScratch::with_degree(max_degree),
+            max_degree,
+            exec: ExecConfig::serial(),
+        }
+    }
+
+    /// Sets the execution configuration for subsequent evaluations.
+    pub fn set_exec(&mut self, exec: ExecConfig) {
+        self.exec = exec;
+    }
+
+    /// Builder form of [`WaModel::set_exec`].
+    pub fn with_exec(mut self, exec: ExecConfig) -> Self {
+        self.exec = exec;
+        self
+    }
+
     fn run(
         &mut self,
         design: &Design,
@@ -110,29 +184,65 @@ impl WaModel {
                 *p = Point::ORIGIN;
             }
         }
-        let want = grad.is_some();
+        if self.exec.is_serial() || design.nets.len() < MIN_PARALLEL_NETS {
+            self.run_serial(design, pos, gamma, grad)
+        } else {
+            self.run_parallel(design, pos, gamma, grad)
+        }
+    }
+
+    /// The historical single-threaded loop, using the object-owned scratch.
+    fn run_serial(
+        &mut self,
+        design: &Design,
+        pos: &[Point],
+        gamma: f64,
+        mut grad: Option<&mut [Point]>,
+    ) -> f64 {
         let mut total = 0.0;
         for net in &design.nets {
-            let k = net.pins.len();
-            if k < 2 {
+            if net.pins.len() < 2 {
                 continue;
             }
-            self.reserve(k);
-            let w = net.weight;
-            for (j, pin) in net.pins.iter().enumerate() {
-                self.coords[j] = pos[pin.cell.index()].x + pin.offset.x;
+            total += self.scratch.net_value(net, pos, gamma, grad.as_deref_mut());
+        }
+        total
+    }
+
+    /// Chunked fan-out over nets with ordered reduction of the per-chunk
+    /// totals and gradient vectors.
+    fn run_parallel(
+        &mut self,
+        design: &Design,
+        pos: &[Point],
+        gamma: f64,
+        mut grad: Option<&mut [Point]>,
+    ) -> f64 {
+        let n_nets = design.nets.len();
+        // Chunk boundaries depend only on the net count (never the thread
+        // count): they fix the floating-point reduction order.
+        let chunks = deterministic_chunks(n_nets, 256, 8);
+        let want = grad.is_some();
+        let slots = grad.as_deref().map_or(0, |g| g.len());
+        let max_degree = self.max_degree;
+        let partials = map_chunks(&self.exec, n_nets, chunks, |_, range| {
+            let mut scratch = NetScratch::with_degree(max_degree);
+            let mut local_grad = want.then(|| vec![Point::ORIGIN; slots]);
+            let mut total = 0.0;
+            for net in &design.nets[range] {
+                if net.pins.len() < 2 {
+                    continue;
+                }
+                total += scratch.net_value(net, pos, gamma, local_grad.as_deref_mut());
             }
-            let wx = self.axis_value(k, gamma, want, false);
-            for (j, pin) in net.pins.iter().enumerate() {
-                self.coords[j] = pos[pin.cell.index()].y + pin.offset.y;
-            }
-            let wy = self.axis_value(k, gamma, want, true);
-            total += w * (wx + wy);
-            if let Some(g) = grad.as_deref_mut() {
-                for (j, pin) in net.pins.iter().enumerate() {
-                    let slot = &mut g[pin.cell.index()];
-                    slot.x += w * self.grad_x[j];
-                    slot.y += w * self.grad_y[j];
+            (total, local_grad)
+        });
+        let mut total = 0.0;
+        for (t, local) in partials {
+            total += t;
+            if let (Some(g), Some(local)) = (grad.as_deref_mut(), local) {
+                for (dst, src) in g.iter_mut().zip(&local) {
+                    *dst += *src;
                 }
             }
         }
@@ -145,13 +255,7 @@ impl SmoothWirelength for WaModel {
         self.run(design, pos, gamma, None)
     }
 
-    fn gradient(
-        &mut self,
-        design: &Design,
-        pos: &[Point],
-        gamma: f64,
-        grad: &mut [Point],
-    ) -> f64 {
+    fn gradient(&mut self, design: &Design, pos: &[Point], gamma: f64, grad: &mut [Point]) -> f64 {
         assert!(
             grad.len() >= design.cells.len(),
             "gradient buffer too small"
@@ -306,5 +410,71 @@ mod tests {
         let mut wa = WaModel::new(&d);
         let w = wa.evaluate(&d, &pos, 0.01);
         assert!((w - 48.0).abs() < 1e-6);
+    }
+
+    /// A many-net design that crosses the parallel fan-out threshold.
+    fn mesh_design(n_cells: usize) -> (Design, Vec<Point>) {
+        let mut b = DesignBuilder::new("mesh", Rect::new(0.0, 0.0, 1000.0, 1000.0));
+        let ids: Vec<_> = (0..n_cells)
+            .map(|i| b.add_cell(format!("c{i}"), 1.0, 1.0, CellKind::StdCell))
+            .collect();
+        for i in 0..n_cells {
+            let j = (i * 7 + 3) % n_cells;
+            let k = (i * 13 + 5) % n_cells;
+            let mut pins = vec![(ids[i], Point::ORIGIN), (ids[j], Point::ORIGIN)];
+            if k != i && k != j {
+                pins.push((ids[k], Point::ORIGIN));
+            }
+            b.add_net(format!("n{i}"), pins);
+        }
+        let d = b.build();
+        let pos: Vec<Point> = (0..n_cells)
+            .map(|i| Point::new(((i * 31) % 997) as f64, ((i * 57) % 991) as f64))
+            .collect();
+        (d, pos)
+    }
+
+    #[test]
+    fn parallel_gradient_matches_serial_within_rounding() {
+        let (d, pos) = mesh_design(400);
+        let gamma = 4.0;
+        let mut serial = WaModel::new(&d);
+        let mut gs = vec![Point::ORIGIN; pos.len()];
+        let ws = serial.gradient(&d, &pos, gamma, &mut gs);
+        for threads in [2usize, 4] {
+            let mut par = WaModel::new(&d).with_exec(ExecConfig::with_threads(threads));
+            let mut gp = vec![Point::ORIGIN; pos.len()];
+            let wp = par.gradient(&d, &pos, gamma, &mut gp);
+            assert!(
+                (ws - wp).abs() <= 1e-9 * ws.abs().max(1.0),
+                "threads {threads}"
+            );
+            for (a, b) in gs.iter().zip(&gp) {
+                let scale = a.norm().max(1.0);
+                assert!((*a - *b).norm() <= 1e-9 * scale, "threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_gradient_is_thread_count_invariant() {
+        // The chunk layout depends only on the net count, so every thread
+        // count ≥ 2 must produce the same bits.
+        let (d, pos) = mesh_design(300);
+        let run = |threads: usize| {
+            let mut wa = WaModel::new(&d).with_exec(ExecConfig::with_threads(threads));
+            let mut g = vec![Point::ORIGIN; pos.len()];
+            let w = wa.gradient(&d, &pos, 3.0, &mut g);
+            (w, g)
+        };
+        let (w2, g2) = run(2);
+        for threads in [3usize, 5, 8] {
+            let (w, g) = run(threads);
+            assert_eq!(w.to_bits(), w2.to_bits(), "threads {threads}");
+            for (a, b) in g.iter().zip(&g2) {
+                assert_eq!(a.x.to_bits(), b.x.to_bits(), "threads {threads}");
+                assert_eq!(a.y.to_bits(), b.y.to_bits(), "threads {threads}");
+            }
+        }
     }
 }

@@ -15,7 +15,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     let dir = std::env::temp_dir().join("eplace_bookshelf_demo");
 
     // 1. Emit a benchmark the way the contest distributes them.
-    let design = BenchmarkConfig::ispd06_like("demo06", 11, 0.8).scale(400).generate();
+    let design = BenchmarkConfig::ispd06_like("demo06", 11, 0.8)
+        .scale(400)
+        .generate();
     let aux = write_aux(&design, &dir, "demo06")?;
     println!("wrote benchmark: {}", aux.display());
     for entry in std::fs::read_dir(&dir)? {
@@ -32,7 +34,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     parsed.target_density = 0.8; // ISPD 2006 ships rho_t out of band
     assert_eq!(parsed.cells.len(), design.cells.len());
     assert!((parsed.hpwl() - design.hpwl()).abs() < 1e-6 * design.hpwl());
-    println!("parsed back: {} cells, {} nets", parsed.cells.len(), parsed.nets.len());
+    println!(
+        "parsed back: {} cells, {} nets",
+        parsed.cells.len(),
+        parsed.nets.len()
+    );
 
     // 3. Place and write the contest deliverable.
     let mut placer = Placer::new(parsed, EplaceConfig::fast());

@@ -11,7 +11,9 @@ use eplace_repro::core::{EplaceConfig, Placer};
 use eplace_repro::density::CongestionMap;
 
 fn main() {
-    let design = BenchmarkConfig::ispd05_like("congestion", 13).scale(600).generate();
+    let design = BenchmarkConfig::ispd05_like("congestion", 13)
+        .scale(600)
+        .generate();
 
     let before = CongestionMap::rudy(&design, 24, 24, 1.0);
     println!("before placement (random scatter):");
@@ -41,7 +43,10 @@ fn main() {
 fn report(map: &CongestionMap) {
     println!("  mean demand    : {:.3}", map.mean());
     println!("  peak demand    : {:.3}", map.peak());
-    println!("  hotspot ratio  : {:.3} (top-10% bins / mean)", map.hotspot_ratio());
+    println!(
+        "  hotspot ratio  : {:.3} (top-10% bins / mean)",
+        map.hotspot_ratio()
+    );
 }
 
 fn shade(v: f64) -> char {

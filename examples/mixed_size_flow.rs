@@ -12,7 +12,9 @@ use eplace_repro::legalize::check_legal;
 use eplace_repro::netlist::{CellKind, DesignStats};
 
 fn main() {
-    let design = BenchmarkConfig::mms_like("mixed_demo", 7, 1.0, 10).scale(500).generate();
+    let design = BenchmarkConfig::mms_like("mixed_demo", 7, 1.0, 10)
+        .scale(500)
+        .generate();
     println!("circuit: {}", DesignStats::of(&design));
 
     let mut placer = Placer::new(design, EplaceConfig::fast());
@@ -57,10 +59,7 @@ fn main() {
     println!("\n== cDP ==");
     println!("  final HPWL {:.4e}", report.final_hpwl);
     println!("  detail gain {:.4e}", report.detail_gain);
-    println!(
-        "  legal: {:?}",
-        check_legal(placer.design()).map(|_| "yes")
-    );
+    println!("  legal: {:?}", check_legal(placer.design()).map(|_| "yes"));
     let frozen_macros = placer
         .design()
         .cells

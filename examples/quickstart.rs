@@ -13,7 +13,9 @@ use eplace_repro::netlist::DesignStats;
 fn main() {
     // A deterministic synthetic circuit: ~500 standard cells, fixed macros,
     // an IO ring, contest-like netlist statistics.
-    let design = BenchmarkConfig::ispd05_like("quickstart", 42).scale(500).generate();
+    let design = BenchmarkConfig::ispd05_like("quickstart", 42)
+        .scale(500)
+        .generate();
     println!("circuit: {}", DesignStats::of(&design));
     let hpwl_scattered = design.hpwl();
 

@@ -24,6 +24,7 @@ struct Args {
     demo: usize,
     fast: bool,
     trace_csv: Option<String>,
+    threads: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -34,6 +35,7 @@ fn parse_args() -> Result<Args, String> {
         demo: 500,
         fast: false,
         trace_csv: None,
+        threads: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -58,10 +60,18 @@ fn parse_args() -> Result<Args, String> {
             }
             "--fast" => args.fast = true,
             "--trace-csv" => args.trace_csv = Some(value("--trace-csv")?),
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: eplace-repro [--aux FILE.aux] [--out FILE.pl] [--rho RHO_T] \
-                     [--demo N_CELLS] [--fast] [--trace-csv FILE]"
+                     [--demo N_CELLS] [--fast] [--trace-csv FILE] [--threads N]\n\
+                     \n\
+                     --threads 1 (default) is the exact serial placer; N >= 2 \
+                     parallelizes the kernels deterministically; 0 auto-detects."
                 );
                 std::process::exit(0);
             }
@@ -75,8 +85,13 @@ fn load_design(args: &Args) -> Result<Design, Box<dyn Error>> {
     let mut design = match &args.aux {
         Some(path) => read_aux(path)?,
         None => {
-            eprintln!("no --aux given; generating a {}-cell demo circuit", args.demo);
-            BenchmarkConfig::ispd05_like("demo", 42).scale(args.demo).generate()
+            eprintln!(
+                "no --aux given; generating a {}-cell demo circuit",
+                args.demo
+            );
+            BenchmarkConfig::ispd05_like("demo", 42)
+                .scale(args.demo)
+                .generate()
         }
     };
     if let Some(rho) = args.rho {
@@ -102,11 +117,12 @@ fn main() -> ExitCode {
     };
     eprintln!("{}", DesignStats::of(&design));
 
-    let config = if args.fast {
+    let mut config = if args.fast {
         EplaceConfig::fast()
     } else {
         EplaceConfig::default()
     };
+    config.threads = args.threads;
     let mut placer = Placer::new(design, config);
     let report = placer.run();
 

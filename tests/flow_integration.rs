@@ -7,11 +7,17 @@ use eplace_repro::netlist::CellKind;
 
 #[test]
 fn stdcell_flow_produces_legal_low_overflow_layout() {
-    let design = BenchmarkConfig::ispd05_like("it_std", 501).scale(300).generate();
+    let design = BenchmarkConfig::ispd05_like("it_std", 501)
+        .scale(300)
+        .generate();
     let mut placer = Placer::new(design, EplaceConfig::fast());
     let report = placer.run();
     assert!(report.mgp_converged, "tau = {}", report.final_overflow);
-    assert!(check_legal(placer.design()).is_ok(), "{:?}", check_legal(placer.design()));
+    assert!(
+        check_legal(placer.design()).is_ok(),
+        "{:?}",
+        check_legal(placer.design())
+    );
     assert!(report.final_overflow < 0.2);
     // Quadratic init is the HPWL lower bound; the final legal layout sits
     // above it but within a sane factor.
@@ -21,7 +27,9 @@ fn stdcell_flow_produces_legal_low_overflow_layout() {
 
 #[test]
 fn mixed_size_flow_runs_all_stages_and_fixes_macros() {
-    let design = BenchmarkConfig::mms_like("it_mms", 502, 1.0, 6).scale(300).generate();
+    let design = BenchmarkConfig::mms_like("it_mms", 502, 1.0, 6)
+        .scale(300)
+        .generate();
     let mut placer = Placer::new(design, EplaceConfig::fast());
     let report = placer.run();
     let stages: std::collections::HashSet<_> = report.trace.iter().map(|r| r.stage).collect();
@@ -29,7 +37,11 @@ fn mixed_size_flow_runs_all_stages_and_fixes_macros() {
     assert!(stages.contains(&Stage::FillerOnly));
     assert!(stages.contains(&Stage::Cgp));
     let mlg = report.mlg.expect("mLG must run for mixed-size designs");
-    assert!(mlg.legalized, "macro overlap left: {}", mlg.macro_overlap_after);
+    assert!(
+        mlg.legalized,
+        "macro overlap left: {}",
+        mlg.macro_overlap_after
+    );
     for c in placer.design().cells.iter() {
         if c.kind == CellKind::Macro {
             assert!(c.fixed, "macro `{}` not fixed after mLG", c.name);
@@ -43,7 +55,9 @@ fn mixed_size_flow_runs_all_stages_and_fixes_macros() {
 
 #[test]
 fn density_constrained_flow_respects_rho_t() {
-    let design = BenchmarkConfig::ispd06_like("it_06", 503, 0.6).scale(300).generate();
+    let design = BenchmarkConfig::ispd06_like("it_06", 503, 0.6)
+        .scale(300)
+        .generate();
     let mut placer = Placer::new(design, EplaceConfig::fast());
     let report = placer.run();
     assert!(report.scaled_hpwl >= report.final_hpwl);
@@ -58,20 +72,32 @@ fn density_constrained_flow_respects_rho_t() {
 #[test]
 fn flow_is_deterministic() {
     let run = || {
-        let design = BenchmarkConfig::mms_like("it_det", 504, 1.0, 5).scale(250).generate();
+        let design = BenchmarkConfig::mms_like("it_det", 504, 1.0, 5)
+            .scale(250)
+            .generate();
         let mut placer = Placer::new(design, EplaceConfig::fast());
         let report = placer.run();
-        (report.final_hpwl, report.mgp_iterations, report.cgp_iterations)
+        (
+            report.final_hpwl,
+            report.mgp_iterations,
+            report.cgp_iterations,
+        )
     };
     assert_eq!(run(), run());
 }
 
 #[test]
 fn trace_is_structurally_sound() {
-    let design = BenchmarkConfig::ispd05_like("it_trace", 505).scale(250).generate();
+    let design = BenchmarkConfig::ispd05_like("it_trace", 505)
+        .scale(250)
+        .generate();
     let mut placer = Placer::new(design, EplaceConfig::fast());
     let report = placer.run();
-    let mgp: Vec<_> = report.trace.iter().filter(|r| r.stage == Stage::Mgp).collect();
+    let mgp: Vec<_> = report
+        .trace
+        .iter()
+        .filter(|r| r.stage == Stage::Mgp)
+        .collect();
     assert_eq!(mgp.len(), report.mgp_iterations);
     for (k, r) in mgp.iter().enumerate() {
         assert_eq!(r.iteration, k);

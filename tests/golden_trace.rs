@@ -1,0 +1,71 @@
+//! Golden-trace regression test: the full placer flow on a fixed small
+//! benchmark must reproduce its per-iteration HPWL/overflow trajectory
+//! exactly, iteration for iteration and digit for digit.
+//!
+//! The flow is deterministic by construction — seeded PRNG everywhere, and
+//! the serial kernels are the bit-exact historical code paths — so any CSV
+//! drift means an (intended or not) numerical behavior change. When a change
+//! is intentional, regenerate the snapshot with
+//!
+//! ```sh
+//! EPLACE_BLESS=1 cargo test --test golden_trace
+//! ```
+//!
+//! and commit the updated `tests/golden/trace_small.csv` together with a
+//! note in the change description explaining why the trajectory moved.
+
+use eplace_repro::benchgen::BenchmarkConfig;
+use eplace_repro::core::{trace_to_csv, EplaceConfig, Placer};
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/trace_small.csv");
+
+/// The fixed scenario behind the snapshot: small enough to run in seconds,
+/// large enough to exercise mGP + fillerGP + cGP and the λ/γ schedules.
+fn golden_trace_csv() -> String {
+    let design = BenchmarkConfig::ispd05_like("golden", 7)
+        .scale(150)
+        .generate();
+    let mut placer = Placer::new(design, EplaceConfig::fast());
+    let report = placer.run();
+    trace_to_csv(&report.trace)
+}
+
+#[test]
+fn placer_trace_matches_golden_snapshot() {
+    let actual = golden_trace_csv();
+    if std::env::var("EPLACE_BLESS").is_ok() {
+        std::fs::write(GOLDEN_PATH, &actual).expect("writing golden trace");
+        eprintln!("golden trace regenerated at {GOLDEN_PATH}");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden trace missing — run with EPLACE_BLESS=1 to create it");
+    if actual == golden {
+        return;
+    }
+    // Report the first diverging line so a regression is diagnosable
+    // without diffing the files by hand.
+    let mut a_lines = actual.lines();
+    let mut g_lines = golden.lines();
+    let mut line_no = 1usize;
+    loop {
+        match (a_lines.next(), g_lines.next()) {
+            (Some(a), Some(g)) if a == g => line_no += 1,
+            (a, g) => panic!(
+                "trace diverged from golden snapshot at line {line_no}:\n  \
+                 golden: {}\n  actual: {}\n\
+                 (if the numerical change is intentional, regenerate with \
+                 EPLACE_BLESS=1 cargo test --test golden_trace)",
+                g.unwrap_or("<end of file>"),
+                a.unwrap_or("<end of file>"),
+            ),
+        }
+    }
+}
+
+/// The snapshot itself is only trustworthy if the scenario is reproducible
+/// within one binary run — guard that independently of the checked-in file.
+#[test]
+fn golden_scenario_is_deterministic_in_process() {
+    assert_eq!(golden_trace_csv(), golden_trace_csv());
+}

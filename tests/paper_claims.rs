@@ -6,10 +6,15 @@ use eplace_repro::benchgen::BenchmarkConfig;
 use eplace_repro::core::{EplaceConfig, Placer};
 
 fn final_hpwl(cfg: &EplaceConfig, seed: u64) -> (f64, bool) {
-    let design = BenchmarkConfig::mms_like("claims", seed, 1.0, 6).scale(300).generate();
+    let design = BenchmarkConfig::mms_like("claims", seed, 1.0, 6)
+        .scale(300)
+        .generate();
     let mut placer = Placer::new(design, cfg.clone());
     let report = placer.run();
-    (report.final_hpwl, report.mgp_converged && report.legalization.is_some())
+    (
+        report.final_hpwl,
+        report.mgp_converged && report.legalization.is_some(),
+    )
 }
 
 #[test]
@@ -57,7 +62,9 @@ fn backtracking_ablation_does_not_improve_quality() {
 #[test]
 fn backtrack_rate_matches_paper_order_of_magnitude() {
     // Paper: 1.037 backtracks per mGP iteration on the MMS suite.
-    let design = BenchmarkConfig::mms_like("claims_bk", 603, 1.0, 6).scale(300).generate();
+    let design = BenchmarkConfig::mms_like("claims_bk", 603, 1.0, 6)
+        .scale(300)
+        .generate();
     let mut placer = Placer::new(design, EplaceConfig::fast());
     let report = placer.run();
     assert!(
