@@ -28,6 +28,8 @@
 //! assert!(result.hpwl > 0.0);
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod bellshape;
 mod cg;
 mod mincut;

@@ -31,6 +31,7 @@ fn main() {
             None,
             &mut trace,
         )
+        .expect("placement diverged beyond recovery")
     });
     bench("cg_line_search_fftpl", 10, || {
         let mut d = BenchmarkConfig::ispd05_like("vs", 9)

@@ -81,7 +81,7 @@ fn main() {
     for config in &suite {
         let design = config.generate();
         let mut placer = eplace_core::Placer::new(design, base.clone());
-        let report = placer.run();
+        let report = placer.run().expect("placement diverged beyond recovery");
         bk_sum += report.mgp_backtracks_per_iteration;
         bk_n += 1;
     }

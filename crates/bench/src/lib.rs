@@ -44,7 +44,7 @@ pub fn run_eplace(config: &BenchmarkConfig, eplace_cfg: &EplaceConfig) -> FlowRe
     let design = config.generate();
     let t = Instant::now();
     let mut placer = Placer::new(design, eplace_cfg.clone());
-    let report = placer.run();
+    let report = placer.run().expect("placement diverged beyond recovery");
     let seconds = t.elapsed().as_secs_f64();
     FlowResult {
         placer: "ePlace".into(),
@@ -300,6 +300,6 @@ pub fn design_after_full_flow(
 ) -> (Design, eplace_core::PlacementReport) {
     let design = config.generate();
     let mut placer = Placer::new(design, cfg.clone());
-    let report = placer.run();
+    let report = placer.run().expect("placement diverged beyond recovery");
     (placer.into_design(), report)
 }

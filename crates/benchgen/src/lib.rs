@@ -22,6 +22,8 @@
 //! assert!(design.cells.len() >= 500);
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod config;
 mod generate;
 mod suite;

@@ -31,6 +31,8 @@
 //! # }
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod assemble;
 mod parse;
 mod write;
@@ -100,6 +102,25 @@ impl BookshelfError {
     }
 }
 
+impl From<BookshelfError> for eplace_errors::EplaceError {
+    fn from(e: BookshelfError) -> Self {
+        match e {
+            BookshelfError::Io { path, source } => {
+                eplace_errors::EplaceError::io(path.display().to_string(), source.to_string())
+            }
+            BookshelfError::Parse {
+                file,
+                line,
+                message,
+            } => eplace_errors::EplaceError::Parse {
+                file,
+                line,
+                message,
+            },
+        }
+    }
+}
+
 /// Reads a complete benchmark rooted at a `.aux` file into a
 /// [`eplace_netlist::Design`].
 ///
@@ -154,6 +175,31 @@ pub fn read_aux(aux_path: impl AsRef<Path>) -> Result<eplace_netlist::Design, Bo
     let pl = pl.ok_or_else(|| BookshelfError::parse("aux", 0, "missing .pl file"))?;
     let scl = scl.ok_or_else(|| BookshelfError::parse("aux", 0, "missing .scl file"))?;
     assemble_design(&name, nodes, nets, wts.unwrap_or_default(), pl, scl)
+}
+
+/// Reads a benchmark like [`read_aux`], then runs the
+/// [`eplace_netlist::lint_design`] validation pass on the result before
+/// handing it to the caller.
+///
+/// This is the guarded entry point the flow binaries use: real contest
+/// files occasionally carry degenerate constructs (zero-area objects,
+/// single-pin nets, off-cell pin offsets) that parse fine but poison the
+/// analytic placer. Under [`eplace_netlist::LintPolicy::Repair`] they are
+/// fixed in place and reported; under
+/// [`eplace_netlist::LintPolicy::Reject`] the design is refused.
+///
+/// # Errors
+///
+/// [`eplace_errors::EplaceError::Io`]/[`eplace_errors::EplaceError::Parse`]
+/// from the reader, or [`eplace_errors::EplaceError::Validation`] from the
+/// lint pass.
+pub fn read_aux_checked(
+    aux_path: impl AsRef<Path>,
+    policy: eplace_netlist::LintPolicy,
+) -> Result<(eplace_netlist::Design, eplace_netlist::LintReport), eplace_errors::EplaceError> {
+    let mut design = read_aux(aux_path)?;
+    let report = eplace_netlist::lint_design(&mut design, policy)?;
+    Ok((design, report))
 }
 
 #[cfg(test)]

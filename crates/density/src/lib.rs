@@ -42,6 +42,8 @@
 //! assert!(g.x < 0.0 && g.y < 0.0); // descent moves away from the pile
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod bellshape;
 mod congestion;
 mod grid;

@@ -1,4 +1,5 @@
 use crate::nesterov::Gradient;
+use crate::recover::GradientFault;
 use crate::PlacementProblem;
 use eplace_density::DensityGrid;
 use eplace_exec::ExecConfig;
@@ -39,6 +40,9 @@ pub struct EplaceCost<'a> {
     pub wirelength_time: Duration,
     /// Gradient evaluations performed.
     pub evaluations: usize,
+    /// Armed gradient fault (fault-injection harness; `None` in production).
+    pub fault: Option<GradientFault>,
+    grad_nonfinite: bool,
 }
 
 impl<'a> EplaceCost<'a> {
@@ -75,7 +79,19 @@ impl<'a> EplaceCost<'a> {
             density_time: Duration::ZERO,
             wirelength_time: Duration::ZERO,
             evaluations: 0,
+            fault: None,
+            grad_nonfinite: false,
         }
+    }
+
+    /// Returns and clears the sticky non-finite-gradient flag.
+    ///
+    /// The gradient kernel never masks a non-finite component (masking hides
+    /// real divergence); instead it records the event here, and the global
+    /// placement loop reads the flag once per iteration to trip its
+    /// divergence sentinel.
+    pub fn take_grad_nonfinite(&mut self) -> bool {
+        std::mem::replace(&mut self.grad_nonfinite, false)
     }
 
     /// Sets the execution policy for both runtime-dominant kernels — the
@@ -138,11 +154,24 @@ impl<'a> EplaceCost<'a> {
         let x = 1.0 - delta_hpwl / delta_ref.max(1e-12);
         let mu = mu_max.powf(x).clamp(mu_min, mu_max);
         self.lambda *= mu;
+        // λ going non-finite means ΔHPWL already diverged; the gp sentinel
+        // handles it in release builds, so a hard assert is debug-only.
+        debug_assert!(
+            self.lambda >= 0.0 || self.lambda.is_nan(),
+            "lambda went negative: {}",
+            self.lambda
+        );
     }
 
     /// Refreshes γ from the last observed overflow.
     pub fn update_gamma(&mut self) {
         self.gamma = self.schedule.gamma(self.last_overflow);
+        debug_assert!(
+            self.gamma > 0.0 || !self.last_overflow.is_finite(),
+            "gamma collapsed: {} (overflow {})",
+            self.gamma,
+            self.last_overflow
+        );
     }
 
     /// The objective value `f(v) = W̃(v) + λ·N(v)` (Eq. 4) at `pos`.
@@ -215,9 +244,20 @@ impl Gradient for EplaceCost<'_> {
                 g = g * (1.0 / h);
             }
             if !g.is_finite() {
-                g = Point::ORIGIN;
+                // Do NOT sanitize: a non-finite force is a divergence signal
+                // the recovery sentinel must see, not noise to paper over.
+                self.grad_nonfinite = true;
             }
             grad[k] = g;
+        }
+        // Deterministic fault injection: poison one component once the
+        // evaluation counter reaches the trigger (testing only).
+        if let Some(fault) = &self.fault {
+            if fault.fires(self.evaluations) && !grad.is_empty() {
+                let k = fault.component % grad.len();
+                grad[k] = Point::new(fault.value(), fault.value());
+                self.grad_nonfinite = true;
+            }
         }
         // Field sampling above is physically part of the density component.
         self.density_time += t2.elapsed();

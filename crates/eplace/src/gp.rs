@@ -1,13 +1,16 @@
 use crate::cost::EplaceCost;
+use crate::recover::{sentinel_check, GpCheckpoint};
 use crate::trace::{IterationRecord, RuntimeProfile, Stage};
 use crate::{EplaceConfig, NesterovOptimizer, PlacementProblem};
 use eplace_density::grid_dimension;
+use eplace_errors::{DivergenceReport, EplaceError, Severity, ValidationIssue};
 use eplace_netlist::Design;
 
 /// Outcome of one global-placement stage (mGP, filler-only, or cGP).
 #[derive(Debug, Clone, PartialEq)]
 pub struct GpOutcome {
-    /// Iterations executed.
+    /// Iterations executed (including iterations later discarded by a
+    /// divergence rollback — the work was still spent).
     pub iterations: usize,
     /// Final density overflow τ.
     pub final_overflow: f64,
@@ -23,6 +26,13 @@ pub struct GpOutcome {
     pub profile: RuntimeProfile,
     /// `true` when the τ target was reached before the iteration cap.
     pub converged: bool,
+    /// Divergence-sentinel trips that were recovered by rollback (0 on a
+    /// healthy run).
+    pub recoveries: usize,
+    /// State after the last completed iteration; feed it to
+    /// [`resume_global_placement`] to continue the run bit-identically.
+    /// `None` only for the empty-problem fast path.
+    pub checkpoint: Option<GpCheckpoint>,
 }
 
 /// Runs the Nesterov/eDensity global placement loop over `problem`,
@@ -30,6 +40,19 @@ pub struct GpOutcome {
 /// λ₀ calibration (used by cGP's rewind `λ_mGP·1.1^{−m}`); `max_iterations`
 /// overrides the config cap (used by the 20-iteration filler-only phase).
 /// Iteration records are appended to `trace`.
+///
+/// The loop is guarded: every iteration a read-only sentinel checks for
+/// non-finite gradients/metrics, steplength collapse, and HPWL explosion
+/// (see [`crate::recover`]). On a trip the loop rewinds to the last
+/// checkpoint, clamps the steplength by
+/// [`EplaceConfig::recovery_alpha_scale`], re-anchors λ/γ, and retries.
+///
+/// # Errors
+///
+/// [`EplaceError::Diverged`] when the sentinel trips more than
+/// [`EplaceConfig::recovery_retries`] times; the best placement seen is
+/// committed to `design` before returning and the report carries its
+/// HPWL/overflow.
 pub fn run_global_placement(
     design: &mut Design,
     problem: &PlacementProblem,
@@ -38,11 +61,83 @@ pub fn run_global_placement(
     lambda_init: Option<f64>,
     max_iterations: Option<usize>,
     trace: &mut Vec<IterationRecord>,
-) -> GpOutcome {
+) -> Result<GpOutcome, EplaceError> {
+    run_guarded(
+        design,
+        problem,
+        cfg,
+        stage,
+        lambda_init,
+        max_iterations,
+        None,
+        trace,
+    )
+}
+
+/// Continues a global-placement run from a [`GpCheckpoint`] previously
+/// returned in [`GpOutcome::checkpoint`].
+///
+/// The optimizer trajectory, λ/γ schedule, and best-solution tracker are
+/// restored from the checkpoint, so a run split into
+/// `run_global_placement(cap = k)` + `resume_global_placement` produces the
+/// same trajectory as a single uninterrupted run (fault-injection counters
+/// reset at the resume boundary). `max_iterations` bounds the iterations of
+/// this call, not the combined run.
+///
+/// # Errors
+///
+/// [`EplaceError::Validation`] when the checkpoint does not match the
+/// problem size; [`EplaceError::Diverged`] as for [`run_global_placement`].
+pub fn resume_global_placement(
+    design: &mut Design,
+    problem: &PlacementProblem,
+    cfg: &EplaceConfig,
+    stage: Stage,
+    checkpoint: &GpCheckpoint,
+    max_iterations: Option<usize>,
+    trace: &mut Vec<IterationRecord>,
+) -> Result<GpOutcome, EplaceError> {
+    if checkpoint.optimizer.u.len() != problem.len() || checkpoint.best_pos.len() != problem.len() {
+        return Err(EplaceError::Validation {
+            issues: vec![ValidationIssue {
+                severity: Severity::Error,
+                subject: "resume checkpoint".into(),
+                message: format!(
+                    "checkpoint holds {} movables but the problem has {}",
+                    checkpoint.optimizer.u.len(),
+                    problem.len()
+                ),
+                repaired: false,
+            }],
+        });
+    }
+    run_guarded(
+        design,
+        problem,
+        cfg,
+        stage,
+        None,
+        max_iterations,
+        Some(checkpoint),
+        trace,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_guarded(
+    design: &mut Design,
+    problem: &PlacementProblem,
+    cfg: &EplaceConfig,
+    stage: Stage,
+    lambda_init: Option<f64>,
+    max_iterations: Option<usize>,
+    resume: Option<&GpCheckpoint>,
+    trace: &mut Vec<IterationRecord>,
+) -> Result<GpOutcome, EplaceError> {
     let start = std::time::Instant::now();
     let mut profile = RuntimeProfile::default();
     if problem.is_empty() {
-        return GpOutcome {
+        return Ok(GpOutcome {
             iterations: 0,
             final_overflow: 0.0,
             final_hpwl: design.hpwl(),
@@ -51,46 +146,139 @@ pub fn run_global_placement(
             backtracks_per_iteration: 0.0,
             profile,
             converged: true,
-        };
+            recoveries: 0,
+            checkpoint: None,
+        });
     }
     let dim = grid_dimension(problem.len(), cfg.grid_min, cfg.grid_max);
     let max_iters = max_iterations.unwrap_or(cfg.max_iterations);
 
     let mut cost =
         EplaceCost::new(design, problem, dim, dim, cfg.enable_preconditioner).with_exec(cfg.exec());
-    let pos0 = problem.positions(design);
-    let lambda0 = cost.init_lambda(&pos0);
-    if let Some(l) = lambda_init {
-        cost.lambda = l.max(1e-3 * lambda0);
-    }
-    let perturb = 0.1 * cost.bin_width();
-    let mut optimizer = NesterovOptimizer::new(
-        pos0,
-        &mut cost,
-        cfg.epsilon,
-        cfg.max_backtracks,
-        cfg.enable_backtracking,
-        perturb,
-    );
+    cost.fault = cfg.fault;
 
-    let hpwl_init = cost.hpwl(optimizer.solution()).max(1.0);
-    let delta_ref = cfg.delta_hpwl_ref_frac * hpwl_init;
-    let mut prev_hpwl = hpwl_init;
+    let (
+        mut optimizer,
+        hpwl_init,
+        delta_ref,
+        mut prev_hpwl,
+        mut iter,
+        mut best_pos,
+        mut best_overflow,
+        mut best_iter,
+    );
+    match resume {
+        None => {
+            let pos0 = problem.positions(design);
+            let lambda0 = cost.init_lambda(&pos0);
+            if let Some(l) = lambda_init {
+                cost.lambda = l.max(1e-3 * lambda0);
+            }
+            let perturb = 0.1 * cost.bin_width();
+            optimizer = NesterovOptimizer::new(
+                pos0,
+                &mut cost,
+                cfg.epsilon,
+                cfg.max_backtracks,
+                cfg.enable_backtracking,
+                perturb,
+            );
+            hpwl_init = cost.hpwl(optimizer.solution()).max(1.0);
+            delta_ref = cfg.delta_hpwl_ref_frac * hpwl_init;
+            prev_hpwl = hpwl_init;
+            iter = 0;
+            best_pos = optimizer.solution().to_vec();
+            best_overflow = f64::INFINITY;
+            best_iter = 0;
+        }
+        Some(ck) => {
+            optimizer = NesterovOptimizer::from_checkpoint(
+                ck.optimizer.clone(),
+                cfg.epsilon,
+                cfg.max_backtracks,
+                cfg.enable_backtracking,
+            );
+            cost.lambda = ck.lambda;
+            cost.gamma = ck.gamma;
+            hpwl_init = ck.hpwl_init;
+            delta_ref = ck.delta_ref;
+            prev_hpwl = ck.prev_hpwl;
+            iter = ck.iteration;
+            best_pos = ck.best_pos.clone();
+            best_overflow = ck.best_overflow;
+            best_iter = ck.best_iter;
+        }
+    }
+
+    // Rollback anchor: the most recent known-good state. Starts at the
+    // pre-loop state so even an iteration-0 fault has somewhere to land.
+    let mut ck = snapshot(
+        iter,
+        &cost,
+        &optimizer,
+        prev_hpwl,
+        hpwl_init,
+        delta_ref,
+        best_overflow,
+        best_iter,
+        &best_pos,
+    );
+    let mut ck_trace_len = trace.len();
+
+    let hpwl_limit = cfg.divergence_hpwl_factor * hpwl_init;
+    let stall_window = (cfg.min_iterations * 4).max(60);
     let mut iterations = 0;
     let mut converged = false;
-    // Best-solution snapshot: when the overflow stops improving (the grid's
-    // noise floor on small instances, or a diverging run), λ keeps
-    // ratcheting and wirelength degrades without bound — keep the
-    // lowest-overflow solution seen and stop after a stagnation window.
-    let mut best_pos: Vec<eplace_geometry::Point> = optimizer.solution().to_vec();
-    let mut best_overflow = f64::INFINITY;
-    let mut best_iter = 0usize;
-    let stall_window = (cfg.min_iterations * 4).max(60);
-    for iter in 0..max_iters {
-        iterations = iter + 1;
+    let mut recoveries = 0usize;
+    let mut spent = 0usize;
+    while spent < max_iters {
+        spent += 1;
+        iterations = spent;
         let info = optimizer.step(&mut cost);
         let hpwl = cost.hpwl(optimizer.solution());
         let overflow = cost.last_overflow;
+        // Divergence sentinel — read-only on a healthy iteration, so the
+        // no-fault trajectory is bit-identical to the unguarded loop.
+        if let Some(reason) = sentinel_check(
+            cost.take_grad_nonfinite(),
+            info.alpha,
+            cfg.divergence_min_alpha,
+            hpwl,
+            overflow,
+            cost.lambda,
+            hpwl_limit,
+        ) {
+            recoveries += 1;
+            if recoveries > cfg.recovery_retries {
+                // Retry budget exhausted: commit the best placement seen and
+                // surface a structured report instead of poisoned positions.
+                let best_hpwl = cost.hpwl(&best_pos);
+                drop(cost);
+                problem.apply(design, &best_pos);
+                return Err(EplaceError::Diverged(DivergenceReport {
+                    stage: stage.to_string(),
+                    iteration: iter,
+                    trips: recoveries,
+                    retry_budget: cfg.recovery_retries,
+                    reason,
+                    best_hpwl,
+                    best_overflow,
+                }));
+            }
+            // Roll back to the last good checkpoint, clamp the steplength,
+            // re-anchor λ/γ, and replay.
+            optimizer.restore(&ck.optimizer);
+            optimizer.scale_alpha(cfg.recovery_alpha_scale);
+            cost.lambda = ck.lambda;
+            cost.gamma = ck.gamma;
+            prev_hpwl = ck.prev_hpwl;
+            best_overflow = ck.best_overflow;
+            best_iter = ck.best_iter;
+            best_pos.copy_from_slice(&ck.best_pos);
+            trace.truncate(ck_trace_len);
+            iter = ck.iteration;
+            continue;
+        }
         trace.push(IterationRecord {
             stage,
             iteration: iter,
@@ -102,6 +290,10 @@ pub fn run_global_placement(
             alpha: info.alpha,
             backtracks: info.backtracks,
         });
+        // Best-solution snapshot: when the overflow stops improving (the
+        // grid's noise floor on small instances, or a diverging run), λ
+        // keeps ratcheting and wirelength degrades without bound — keep the
+        // lowest-overflow solution seen and stop after a stagnation window.
         if overflow < best_overflow - 1e-4 {
             best_overflow = overflow;
             best_iter = iter;
@@ -118,13 +310,41 @@ pub fn run_global_placement(
         if overflow <= cfg.target_overflow && iter + 1 >= cfg.min_iterations {
             converged = true;
             best_pos.copy_from_slice(optimizer.solution());
+            iter += 1;
             break;
         }
         if iter > best_iter + stall_window {
+            iter += 1;
             break; // stagnated above the target — keep the best snapshot
+        }
+        iter += 1;
+        if cfg.checkpoint_interval > 0 && iter % cfg.checkpoint_interval == 0 {
+            ck = snapshot(
+                iter,
+                &cost,
+                &optimizer,
+                prev_hpwl,
+                hpwl_init,
+                delta_ref,
+                best_overflow,
+                best_iter,
+                &best_pos,
+            );
+            ck_trace_len = trace.len();
         }
     }
 
+    let final_ck = snapshot(
+        iter,
+        &cost,
+        &optimizer,
+        prev_hpwl,
+        hpwl_init,
+        delta_ref,
+        best_overflow,
+        best_iter,
+        &best_pos,
+    );
     let lambda_last = cost.lambda;
     let final_overflow = if converged {
         cost.last_overflow
@@ -137,7 +357,7 @@ pub fn run_global_placement(
     problem.apply(design, &best_pos);
     profile.add(density, wirelength, start.elapsed());
 
-    GpOutcome {
+    Ok(GpOutcome {
         iterations,
         final_overflow,
         final_hpwl: design.hpwl(),
@@ -146,12 +366,41 @@ pub fn run_global_placement(
         backtracks_per_iteration: optimizer.backtracks_per_step(),
         profile,
         converged,
+        recoveries,
+        checkpoint: Some(final_ck),
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn snapshot(
+    iteration: usize,
+    cost: &EplaceCost,
+    optimizer: &NesterovOptimizer,
+    prev_hpwl: f64,
+    hpwl_init: f64,
+    delta_ref: f64,
+    best_overflow: f64,
+    best_iter: usize,
+    best_pos: &[eplace_geometry::Point],
+) -> GpCheckpoint {
+    GpCheckpoint {
+        iteration,
+        lambda: cost.lambda,
+        gamma: cost.gamma,
+        prev_hpwl,
+        hpwl_init,
+        delta_ref,
+        best_overflow,
+        best_iter,
+        best_pos: best_pos.to_vec(),
+        optimizer: optimizer.checkpoint(),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::trace_endpoints;
     use crate::{initial_placement, insert_fillers};
     use eplace_benchgen::BenchmarkConfig;
 
@@ -164,7 +413,8 @@ mod tests {
         let problem = PlacementProblem::all_movables(&d);
         let mut trace = Vec::new();
         let cfg = EplaceConfig::fast();
-        let out = run_global_placement(&mut d, &problem, &cfg, Stage::Mgp, None, None, &mut trace);
+        let out = run_global_placement(&mut d, &problem, &cfg, Stage::Mgp, None, None, &mut trace)
+            .unwrap();
         (d, out, trace)
     }
 
@@ -177,18 +427,26 @@ mod tests {
             out.final_overflow
         );
         assert!(out.final_overflow <= 0.101);
+        assert_eq!(out.recoveries, 0, "healthy run must not trip the sentinel");
     }
 
     #[test]
     fn overflow_decreases_over_iterations() {
         let (_, _, trace) = run(300, 62);
-        let first = trace.first().unwrap().overflow;
-        let last = trace.last().unwrap().overflow;
-        assert!(last < first, "overflow {first} -> {last}");
+        let (first, last) = trace_endpoints(&trace).unwrap();
+        assert!(
+            last.overflow < first.overflow,
+            "overflow {} -> {}",
+            first.overflow,
+            last.overflow
+        );
         // Overlap also shrinks (Fig. 2).
-        let o_first = trace.first().unwrap().overlap;
-        let o_last = trace.last().unwrap().overlap;
-        assert!(o_last < o_first, "overlap {o_first} -> {o_last}");
+        assert!(
+            last.overlap < first.overlap,
+            "overlap {} -> {}",
+            first.overlap,
+            last.overlap
+        );
     }
 
     #[test]
@@ -196,10 +454,14 @@ mod tests {
         // mIP is the wirelength optimum with overlap; spreading must raise
         // HPWL, but not catastrophically.
         let (_, _, trace) = run(300, 63);
-        let first = trace.first().unwrap().hpwl;
-        let last = trace.last().unwrap().hpwl;
-        assert!(last > 0.8 * first);
-        assert!(last < 20.0 * first, "hpwl exploded: {first} -> {last}");
+        let (first, last) = trace_endpoints(&trace).unwrap();
+        assert!(last.hpwl > 0.8 * first.hpwl);
+        assert!(
+            last.hpwl < 20.0 * first.hpwl,
+            "hpwl exploded: {} -> {}",
+            first.hpwl,
+            last.hpwl
+        );
     }
 
     #[test]
@@ -218,9 +480,16 @@ mod tests {
             None,
             None,
             &mut trace,
-        );
+        )
+        .unwrap();
         assert_eq!(out.iterations, 0);
         assert!(trace.is_empty());
+        assert!(out.checkpoint.is_none());
+        // An empty trace now yields a structured error, not a panic.
+        assert!(matches!(
+            trace_endpoints(&trace),
+            Err(EplaceError::EmptyTrace { .. })
+        ));
     }
 
     #[test]
@@ -237,9 +506,80 @@ mod tests {
             None,
             Some(7),
             &mut trace,
-        );
+        )
+        .unwrap();
         assert_eq!(out.iterations, 7);
         assert_eq!(trace.len(), 7);
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted_run() {
+        let mk = || {
+            let mut d = BenchmarkConfig::ispd05_like("resume", 68)
+                .scale(250)
+                .generate();
+            initial_placement(&mut d);
+            insert_fillers(&mut d, 68);
+            let problem = PlacementProblem::all_movables(&d);
+            (d, problem)
+        };
+        let key = |trace: &[IterationRecord]| {
+            trace
+                .iter()
+                .map(|r| (r.iteration, r.hpwl.to_bits(), r.alpha.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        let cfg = EplaceConfig::fast();
+
+        // One uninterrupted 30-iteration run…
+        let (mut d1, p1) = mk();
+        let mut t1 = Vec::new();
+        run_global_placement(&mut d1, &p1, &cfg, Stage::Mgp, None, Some(30), &mut t1).unwrap();
+
+        // …vs 18 iterations, then resume for 12 more from the checkpoint.
+        let (mut d2, p2) = mk();
+        let mut t2 = Vec::new();
+        let part =
+            run_global_placement(&mut d2, &p2, &cfg, Stage::Mgp, None, Some(18), &mut t2).unwrap();
+        let ck = part
+            .checkpoint
+            .expect("non-empty problem yields a checkpoint");
+        assert_eq!(ck.iteration, 18);
+        let resumed =
+            resume_global_placement(&mut d2, &p2, &cfg, Stage::Mgp, &ck, Some(12), &mut t2)
+                .unwrap();
+        assert_eq!(resumed.iterations, 12);
+
+        assert_eq!(key(&t1), key(&t2), "resume must be bit-identical");
+        let h1: Vec<u64> = d1.cells.iter().map(|c| c.pos.x.to_bits()).collect();
+        let h2: Vec<u64> = d2.cells.iter().map(|c| c.pos.x.to_bits()).collect();
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_checkpoint() {
+        let mut d = BenchmarkConfig::ispd05_like("gp", 69).scale(200).generate();
+        initial_placement(&mut d);
+        let problem = PlacementProblem::all_movables(&d);
+        let mut trace = Vec::new();
+        let cfg = EplaceConfig::fast();
+        let out = run_global_placement(
+            &mut d,
+            &problem,
+            &cfg,
+            Stage::Mgp,
+            None,
+            Some(5),
+            &mut trace,
+        )
+        .unwrap();
+        let mut ck = out.checkpoint.unwrap();
+        ck.best_pos.pop();
+        ck.optimizer.u.pop();
+        let err =
+            resume_global_placement(&mut d, &problem, &cfg, Stage::Mgp, &ck, None, &mut trace)
+                .unwrap_err();
+        assert!(matches!(err, EplaceError::Validation { .. }));
     }
 
     #[test]
@@ -278,7 +618,8 @@ mod tests {
                 None,
                 Some(25),
                 &mut trace,
-            );
+            )
+            .unwrap();
             trace
                 .iter()
                 .map(|r| (r.hpwl.to_bits(), r.overflow.to_bits(), r.lambda.to_bits()))

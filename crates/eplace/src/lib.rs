@@ -27,10 +27,12 @@
 //!
 //! let design = BenchmarkConfig::ispd05_like("quick", 1).scale(200).generate();
 //! let mut placer = Placer::new(design, EplaceConfig::fast());
-//! let report = placer.run();
+//! let report = placer.run().unwrap();
 //! assert!(report.final_hpwl > 0.0);
 //! assert!(report.final_overflow <= 0.35); // fast preset, loose bound
 //! ```
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod cost;
 mod fillers;
@@ -39,16 +41,20 @@ mod mip;
 mod nesterov;
 mod placer;
 mod problem;
+mod recover;
 mod trace;
 
 pub use cost::EplaceCost;
 pub use fillers::insert_fillers;
-pub use gp::{run_global_placement, GpOutcome};
+pub use gp::{resume_global_placement, run_global_placement, GpOutcome};
 pub use mip::{initial_placement, quadratic_solve, Anchor, MipReport};
-pub use nesterov::{Gradient, NesterovOptimizer, StepInfo};
+pub use nesterov::{Gradient, NesterovCheckpoint, NesterovOptimizer, StepInfo};
 pub use placer::{PlacementReport, Placer};
 pub use problem::PlacementProblem;
-pub use trace::{trace_to_csv, IterationRecord, RuntimeProfile, Stage, StageTiming};
+pub use recover::{FaultKind, GpCheckpoint, GradientFault};
+pub use trace::{
+    trace_endpoints, trace_to_csv, IterationRecord, RuntimeProfile, Stage, StageTiming,
+};
 
 use eplace_mlg::MlgConfig;
 
@@ -108,6 +114,28 @@ pub struct EplaceConfig {
     /// ≥ 2 yields one deterministic result independent of the actual thread
     /// count — see [`eplace_exec`].
     pub threads: usize,
+    /// Iterations between rollback checkpoints of the guarded
+    /// global-placement loop (0 disables periodic snapshots; the pre-loop
+    /// state is always kept).
+    pub checkpoint_interval: usize,
+    /// Divergence-sentinel trips tolerated (each one triggering a
+    /// checkpoint rollback) before the stage gives up with
+    /// [`eplace_errors::EplaceError::Diverged`].
+    pub recovery_retries: usize,
+    /// Steplength clamp applied on each rollback: the restored optimizer's
+    /// α is multiplied by this factor so the replay re-enters the trust
+    /// region more conservatively.
+    pub recovery_alpha_scale: f64,
+    /// HPWL explosion threshold, as a multiple of the stage-initial HPWL
+    /// (legitimate spreading stays within ~20×; see the gp tests).
+    pub divergence_hpwl_factor: f64,
+    /// Steplengths below this trip the sentinel as a collapse (a healthy
+    /// backtracked α sits many orders of magnitude above).
+    pub divergence_min_alpha: f64,
+    /// Deterministic gradient fault for the fault-injection tests; always
+    /// `None` in production, where the sentinel is read-only and the
+    /// trajectory is bit-identical to the unguarded loop.
+    pub fault: Option<GradientFault>,
 }
 
 impl Default for EplaceConfig {
@@ -132,6 +160,12 @@ impl Default for EplaceConfig {
             lambda_mu_min: 0.75,
             delta_hpwl_ref_frac: 0.03,
             threads: 1,
+            checkpoint_interval: 10,
+            recovery_retries: 3,
+            recovery_alpha_scale: 0.1,
+            divergence_hpwl_factor: 1e3,
+            divergence_min_alpha: 1e-30,
+            fault: None,
         }
     }
 }

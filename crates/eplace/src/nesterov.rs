@@ -32,6 +32,29 @@ pub struct StepInfo {
     pub backtracks: usize,
 }
 
+/// A full snapshot of the optimizer's trajectory state — everything the next
+/// [`NesterovOptimizer::step`] reads. Restoring one rewinds the optimizer
+/// bit-for-bit (the divergence sentinel's rollback) and
+/// [`NesterovOptimizer::from_checkpoint`] rebuilds an optimizer from one
+/// without re-evaluating any gradients (the resumable-placement path).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NesterovCheckpoint {
+    /// Major solution u.
+    pub u: Vec<Point>,
+    /// Reference solution v.
+    pub v: Vec<Point>,
+    /// Previous reference solution.
+    pub v_prev: Vec<Point>,
+    /// Gradient at v.
+    pub g: Vec<Point>,
+    /// Gradient at v_prev.
+    pub g_prev: Vec<Point>,
+    /// Momentum parameter a_k.
+    pub a: f64,
+    /// Last accepted steplength (the Lipschitz-prediction fallback).
+    pub last_alpha: f64,
+}
+
 /// State of Nesterov's method over a `Vec<Point>` solution.
 #[derive(Debug, Clone)]
 pub struct NesterovOptimizer {
@@ -99,6 +122,72 @@ impl NesterovOptimizer {
             scratch_u: vec![Point::ORIGIN; n],
             scratch_v: vec![Point::ORIGIN; n],
             scratch_g: vec![Point::ORIGIN; n],
+        }
+    }
+
+    /// Rebuilds an optimizer from a [`NesterovCheckpoint`] without any
+    /// gradient evaluations; stepping it continues the checkpointed
+    /// trajectory bit-for-bit.
+    pub fn from_checkpoint(
+        ck: NesterovCheckpoint,
+        epsilon: f64,
+        max_backtracks: usize,
+        backtracking: bool,
+    ) -> Self {
+        let n = ck.u.len();
+        NesterovOptimizer {
+            u: ck.u,
+            v: ck.v,
+            v_prev: ck.v_prev,
+            g: ck.g,
+            g_prev: ck.g_prev,
+            a: ck.a,
+            epsilon,
+            max_backtracks,
+            backtracking,
+            last_alpha: ck.last_alpha,
+            total_backtracks: 0,
+            steps: 0,
+            scratch_u: vec![Point::ORIGIN; n],
+            scratch_v: vec![Point::ORIGIN; n],
+            scratch_g: vec![Point::ORIGIN; n],
+        }
+    }
+
+    /// Snapshots the trajectory state (for rollback or resume).
+    pub fn checkpoint(&self) -> NesterovCheckpoint {
+        NesterovCheckpoint {
+            u: self.u.clone(),
+            v: self.v.clone(),
+            v_prev: self.v_prev.clone(),
+            g: self.g.clone(),
+            g_prev: self.g_prev.clone(),
+            a: self.a,
+            last_alpha: self.last_alpha,
+        }
+    }
+
+    /// Rewinds the trajectory to `ck`. The work counters
+    /// ([`NesterovOptimizer::total_backtracks`], [`NesterovOptimizer::steps`])
+    /// keep accumulating — they measure effort spent, not trajectory
+    /// position.
+    pub fn restore(&mut self, ck: &NesterovCheckpoint) {
+        self.u.copy_from_slice(&ck.u);
+        self.v.copy_from_slice(&ck.v);
+        self.v_prev.copy_from_slice(&ck.v_prev);
+        self.g.copy_from_slice(&ck.g);
+        self.g_prev.copy_from_slice(&ck.g_prev);
+        self.a = ck.a;
+        self.last_alpha = ck.last_alpha;
+    }
+
+    /// Scales the remembered steplength by `factor` — the sentinel's α clamp
+    /// after a rollback, so the retried trajectory moves more cautiously.
+    pub fn scale_alpha(&mut self, factor: f64) {
+        if self.last_alpha.is_finite() && self.last_alpha > 0.0 {
+            self.last_alpha *= factor;
+        } else {
+            self.last_alpha = factor;
         }
     }
 
@@ -362,6 +451,59 @@ mod tests {
         }
         let p = opt.solution()[0];
         assert!(p.x >= 0.0 && p.y >= 0.0, "escaped the box: {p}");
+    }
+
+    #[test]
+    fn checkpoint_restore_rewinds_trajectory_exactly() {
+        let (mut q, init) = setup();
+        let mut opt = NesterovOptimizer::new(init, &mut q, 0.95, 10, true, 0.1);
+        for _ in 0..5 {
+            opt.step(&mut q);
+        }
+        let ck = opt.checkpoint();
+        let mut straight = Vec::new();
+        for _ in 0..5 {
+            straight.push(opt.step(&mut q).alpha.to_bits());
+        }
+        let end = opt.solution().to_vec();
+        opt.restore(&ck);
+        let mut replayed = Vec::new();
+        for _ in 0..5 {
+            replayed.push(opt.step(&mut q).alpha.to_bits());
+        }
+        assert_eq!(straight, replayed);
+        assert_eq!(end, opt.solution());
+    }
+
+    #[test]
+    fn from_checkpoint_continues_bit_identically() {
+        let (mut q, init) = setup();
+        let mut opt = NesterovOptimizer::new(init, &mut q, 0.95, 10, true, 0.1);
+        for _ in 0..5 {
+            opt.step(&mut q);
+        }
+        let ck = opt.checkpoint();
+        let mut resumed = NesterovOptimizer::from_checkpoint(ck, 0.95, 10, true);
+        for _ in 0..5 {
+            let a = opt.step(&mut q).alpha;
+            let b = resumed.step(&mut q).alpha;
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(opt.solution(), resumed.solution());
+    }
+
+    #[test]
+    fn scale_alpha_clamps_step() {
+        let (mut q, init) = setup();
+        let mut opt = NesterovOptimizer::new(init, &mut q, 0.95, 10, true, 0.1);
+        opt.step(&mut q);
+        let before = opt.last_alpha;
+        opt.scale_alpha(0.1);
+        assert!((opt.last_alpha - 0.1 * before).abs() <= 1e-18 * before.abs());
+        // A poisoned steplength resets to the factor itself.
+        opt.last_alpha = f64::NAN;
+        opt.scale_alpha(0.25);
+        assert_eq!(opt.last_alpha, 0.25);
     }
 
     #[test]

@@ -3,6 +3,7 @@ use crate::{
     initial_placement, insert_fillers, run_global_placement, EplaceConfig, MipReport,
     PlacementProblem,
 };
+use eplace_errors::EplaceError;
 use eplace_legalize::{detail_place, legalize, legalize_abacus, LegalizeReport};
 use eplace_mlg::{legalize_macros, MlgReport};
 use eplace_netlist::{CellKind, Design};
@@ -27,6 +28,9 @@ pub struct PlacementReport {
     pub mgp_backtracks_per_iteration: f64,
     /// Whether mGP reached the overflow target.
     pub mgp_converged: bool,
+    /// Divergence-sentinel trips recovered by rollback, summed across all
+    /// global-placement stages. 0 on a healthy run.
+    pub recoveries: usize,
     /// mLG outcome (`None` for std-cell-only designs, where mLG/cGP are
     /// disabled per §VII).
     pub mlg: Option<MlgReport>,
@@ -73,7 +77,7 @@ impl PlacementReport {
 ///
 /// let design = BenchmarkConfig::ispd05_like("demo", 2).scale(200).generate();
 /// let mut placer = Placer::new(design, EplaceConfig::fast());
-/// let report = placer.run();
+/// let report = placer.run().unwrap();
 /// println!("final HPWL: {:.4e}", report.final_hpwl);
 /// ```
 #[derive(Debug)]
@@ -99,7 +103,13 @@ impl Placer {
     }
 
     /// Executes the flow and returns the report.
-    pub fn run(&mut self) -> PlacementReport {
+    ///
+    /// # Errors
+    ///
+    /// [`EplaceError::Diverged`] when a global-placement stage exhausts its
+    /// divergence-recovery budget (see [`crate::run_global_placement`]);
+    /// the design then holds the best placement seen before the failure.
+    pub fn run(&mut self) -> Result<PlacementReport, EplaceError> {
         let cfg = self.config.clone();
         let design = &mut self.design;
         let mut trace = Vec::new();
@@ -118,7 +128,8 @@ impl Placer {
         design.remove_fillers();
         insert_fillers(design, cfg.seed);
         let problem = PlacementProblem::all_movables(design);
-        let mgp = run_global_placement(design, &problem, &cfg, Stage::Mgp, None, None, &mut trace);
+        let mgp = run_global_placement(design, &problem, &cfg, Stage::Mgp, None, None, &mut trace)?;
+        let mut recoveries = mgp.recoveries;
         design.remove_fillers();
         timings.push(StageTiming {
             stage: Stage::Mgp,
@@ -156,7 +167,7 @@ impl Placer {
             insert_fillers(design, cfg.seed.wrapping_add(1));
             if cfg.enable_filler_phase {
                 let fillers = PlacementProblem::fillers_only(design);
-                run_global_placement(
+                let filler_gp = run_global_placement(
                     design,
                     &fillers,
                     &cfg,
@@ -164,7 +175,8 @@ impl Placer {
                     None,
                     Some(cfg.filler_phase_iterations),
                     &mut trace,
-                );
+                )?;
+                recoveries += filler_gp.recoveries;
             }
             timings.push(StageTiming {
                 stage: Stage::FillerOnly,
@@ -185,8 +197,9 @@ impl Placer {
                 Some(lambda_init),
                 None,
                 &mut trace,
-            );
+            )?;
             cgp_iterations = cgp.iterations;
+            recoveries += cgp.recoveries;
             design.remove_fillers();
             timings.push(StageTiming {
                 stage: Stage::Cgp,
@@ -225,7 +238,7 @@ impl Placer {
         let final_overflow = final_overflow_of(design, &cfg);
         let scaled_hpwl = final_hpwl * (1.0 + 0.01 * (final_overflow * 100.0));
 
-        PlacementReport {
+        Ok(PlacementReport {
             final_hpwl,
             scaled_hpwl,
             final_overflow,
@@ -233,6 +246,7 @@ impl Placer {
             mgp_iterations: mgp.iterations,
             mgp_backtracks_per_iteration: mgp.backtracks_per_iteration,
             mgp_converged: mgp.converged,
+            recoveries,
             mlg: mlg_report,
             cgp_iterations,
             legalization: legal,
@@ -241,7 +255,7 @@ impl Placer {
             stage_timings: timings,
             mgp_profile: mgp.profile,
             trace,
-        }
+        })
     }
 }
 
@@ -279,7 +293,7 @@ mod tests {
             .scale(250)
             .generate();
         let mut placer = Placer::new(design, EplaceConfig::fast());
-        let report = placer.run();
+        let report = placer.run().unwrap();
         assert!(report.mgp_converged, "tau={}", report.final_overflow);
         assert!(report.mlg.is_none(), "std-cell suite must skip mLG");
         assert_eq!(report.cgp_iterations, 0);
@@ -299,7 +313,7 @@ mod tests {
             .scale(250)
             .generate();
         let mut placer = Placer::new(design, EplaceConfig::fast());
-        let report = placer.run();
+        let report = placer.run().unwrap();
         let mlg = report.mlg.as_ref().expect("mixed-size flow runs mLG");
         assert!(mlg.legalized, "macro overlap {}", mlg.macro_overlap_after);
         assert!(report.cgp_iterations > 0);
@@ -327,7 +341,7 @@ mod tests {
             .scale(200)
             .generate();
         let mut placer = Placer::new(design, EplaceConfig::fast());
-        let report = placer.run();
+        let report = placer.run().unwrap();
         assert!(report.stage_seconds(Stage::Mip) > 0.0);
         assert!(report.stage_seconds(Stage::Mgp) > 0.0);
         assert!(report.stage_seconds(Stage::Cdp) > 0.0);
@@ -340,7 +354,7 @@ mod tests {
             .scale(200)
             .generate();
         let mut placer = Placer::new(design, EplaceConfig::fast());
-        let report = placer.run();
+        let report = placer.run().unwrap();
         let stages: std::collections::HashSet<_> = report.trace.iter().map(|r| r.stage).collect();
         assert!(stages.contains(&Stage::Mgp));
         assert!(stages.contains(&Stage::FillerOnly));
@@ -353,7 +367,7 @@ mod tests {
             .scale(250)
             .generate();
         let mut placer = Placer::new(design, EplaceConfig::fast());
-        let report = placer.run();
+        let report = placer.run().unwrap();
         assert!(report.scaled_hpwl >= report.final_hpwl);
     }
 
@@ -363,7 +377,10 @@ mod tests {
             let design = BenchmarkConfig::ispd05_like("det", 76)
                 .scale(200)
                 .generate();
-            Placer::new(design, EplaceConfig::fast()).run().final_hpwl
+            Placer::new(design, EplaceConfig::fast())
+                .run()
+                .unwrap()
+                .final_hpwl
         };
         assert_eq!(mk(), mk());
     }

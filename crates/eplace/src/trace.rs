@@ -106,6 +106,26 @@ impl RuntimeProfile {
     }
 }
 
+/// First and last record of a trace.
+///
+/// The trace endpoints drive every before/after comparison (Figure 2's
+/// trend checks, the flow reports); an empty trace — a stage that never
+/// ran, or a caller that filtered everything out — used to be a panic site.
+///
+/// # Errors
+///
+/// [`eplace_errors::EplaceError::EmptyTrace`] when `records` is empty.
+pub fn trace_endpoints(
+    records: &[IterationRecord],
+) -> Result<(&IterationRecord, &IterationRecord), eplace_errors::EplaceError> {
+    match (records.first(), records.last()) {
+        (Some(first), Some(last)) => Ok((first, last)),
+        _ => Err(eplace_errors::EplaceError::EmptyTrace {
+            stage: "global placement".into(),
+        }),
+    }
+}
+
 /// Renders iteration records as CSV (`stage,iteration,hpwl,overflow,...`) —
 /// used by the `repro_fig2` binary to emit the Figure 2 series.
 pub fn trace_to_csv(records: &[IterationRecord]) -> String {
@@ -158,6 +178,27 @@ mod tests {
         let p = RuntimeProfile::default();
         assert_eq!(p.percentages(), (0.0, 0.0, 0.0));
         assert_eq!(p.total(), 0.0);
+    }
+
+    #[test]
+    fn trace_endpoints_structured_error_on_empty() {
+        let err = trace_endpoints(&[]).unwrap_err();
+        assert!(matches!(err, eplace_errors::EplaceError::EmptyTrace { .. }));
+        let rec = IterationRecord {
+            stage: Stage::Mgp,
+            iteration: 0,
+            hpwl: 1.0,
+            overflow: 0.9,
+            overlap: 2.0,
+            lambda: 1e-4,
+            gamma: 2.0,
+            alpha: 0.1,
+            backtracks: 0,
+        };
+        let recs = vec![rec.clone(), rec];
+        let (first, last) = trace_endpoints(&recs).unwrap();
+        assert_eq!(first, &recs[0]);
+        assert_eq!(last, &recs[1]);
     }
 
     #[test]

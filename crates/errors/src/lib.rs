@@ -1,0 +1,283 @@
+//! The workspace-wide structured error layer.
+//!
+//! Every library crate in the workspace reports failures through
+//! [`EplaceError`] (or a crate-local error that converts into it) instead of
+//! panicking; only binaries unwrap at the top level. The variants mirror the
+//! layers of the system:
+//!
+//! * [`EplaceError::Io`] / [`EplaceError::Parse`] — the Bookshelf reader
+//!   (file missing, malformed line with file/line context);
+//! * [`EplaceError::Validation`] — the post-parse design lint
+//!   (degenerate nets, zero-area cells, pins outside their owner, …), each
+//!   problem an individual [`ValidationIssue`];
+//! * [`EplaceError::Diverged`] — the global-placement divergence sentinel
+//!   exhausted its rollback/retry budget; the [`DivergenceReport`] carries
+//!   the trip reason and the best solution metrics observed (the design is
+//!   left at that best-so-far placement);
+//! * [`EplaceError::Legalize`] — cDP could not fit every cell;
+//! * [`EplaceError::EmptyTrace`] — a global-placement stage was asked to run
+//!   but produced no iterations (zero iteration budget on a non-empty
+//!   problem).
+//!
+//! This crate sits at the bottom of the dependency graph (no dependencies)
+//! so that `bookshelf`, `netlist`, `legalize` and `eplace-core` can all share
+//! one taxonomy.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::fmt;
+
+/// How serious a [`ValidationIssue`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Severity {
+    /// The design is usable as-is (or after an automatic repair); flagged so
+    /// the caller can log it.
+    Warning,
+    /// The design cannot be placed without a repair; under a reject policy
+    /// this aborts the read.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One diagnostic from the design-validation pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationIssue {
+    /// Severity class.
+    pub severity: Severity,
+    /// What the issue is about (cell or net name).
+    pub subject: String,
+    /// Human-readable description.
+    pub message: String,
+    /// `true` when the repair policy fixed it in place.
+    pub repaired: bool,
+}
+
+impl fmt::Display for ValidationIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} `{}`: {}", self.severity, self.subject, self.message)?;
+        if self.repaired {
+            f.write_str(" (repaired)")?;
+        }
+        Ok(())
+    }
+}
+
+/// Why the divergence sentinel tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DivergenceReason {
+    /// A gradient component came back NaN/±Inf.
+    NonFiniteGradient,
+    /// HPWL, overflow, or λ became non-finite.
+    NonFiniteMetric,
+    /// HPWL exceeded the configured multiple of the stage-initial HPWL.
+    HpwlExplosion,
+    /// The predicted steplength collapsed to (or below) numerical zero, or
+    /// became non-finite.
+    SteplengthCollapse,
+}
+
+impl fmt::Display for DivergenceReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DivergenceReason::NonFiniteGradient => "non-finite gradient",
+            DivergenceReason::NonFiniteMetric => "non-finite HPWL/overflow/lambda",
+            DivergenceReason::HpwlExplosion => "HPWL explosion",
+            DivergenceReason::SteplengthCollapse => "steplength collapse",
+        })
+    }
+}
+
+/// What the global-placement loop knew when it gave up: the last trip and
+/// the best solution seen. The caller's design is left at that best-so-far
+/// placement, so a degraded-but-usable layout survives the failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DivergenceReport {
+    /// Stage name (`mGP`, `cGP`, `fillerGP`).
+    pub stage: String,
+    /// Logical iteration at the final trip.
+    pub iteration: usize,
+    /// Total sentinel trips (= rollbacks performed + the final fatal one).
+    pub trips: usize,
+    /// Configured retry budget that was exhausted.
+    pub retry_budget: usize,
+    /// Reason of the final trip.
+    pub reason: DivergenceReason,
+    /// HPWL of the best-so-far solution committed to the design.
+    pub best_hpwl: f64,
+    /// Density overflow of that solution.
+    pub best_overflow: f64,
+}
+
+/// Structured error for every layer of the placement flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EplaceError {
+    /// Filesystem failure while reading a benchmark.
+    Io {
+        /// Path being accessed.
+        path: String,
+        /// OS error description.
+        message: String,
+    },
+    /// Syntax or semantic problem in an input file.
+    Parse {
+        /// Which file (extension or path).
+        file: String,
+        /// 1-based line number (0 when not line-specific).
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The design-validation pass rejected the input (or reports what it
+    /// repaired).
+    Validation {
+        /// Individual diagnostics, in discovery order.
+        issues: Vec<ValidationIssue>,
+    },
+    /// Global placement diverged beyond its rollback/retry budget.
+    Diverged(DivergenceReport),
+    /// Legalization could not fit every cell.
+    Legalize {
+        /// First cell that could not be placed.
+        cell: String,
+        /// Explanation.
+        message: String,
+    },
+    /// A placement stage executed zero iterations on a non-empty problem.
+    EmptyTrace {
+        /// Stage name.
+        stage: String,
+    },
+}
+
+impl fmt::Display for EplaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EplaceError::Io { path, message } => write!(f, "io error on {path}: {message}"),
+            EplaceError::Parse {
+                file,
+                line,
+                message,
+            } => write!(f, "{file}:{line}: {message}"),
+            EplaceError::Validation { issues } => {
+                write!(f, "design validation failed ({} issue(s))", issues.len())?;
+                for issue in issues {
+                    write!(f, "\n  {issue}")?;
+                }
+                Ok(())
+            }
+            EplaceError::Diverged(report) => write!(
+                f,
+                "{} diverged at iteration {} ({}; {} trip(s), retry budget {}); \
+                 best-so-far kept: HPWL {:.4e}, overflow {:.4}",
+                report.stage,
+                report.iteration,
+                report.reason,
+                report.trips,
+                report.retry_budget,
+                report.best_hpwl,
+                report.best_overflow
+            ),
+            EplaceError::Legalize { cell, message } => {
+                write!(f, "cannot legalize `{cell}`: {message}")
+            }
+            EplaceError::EmptyTrace { stage } => {
+                write!(f, "{stage} produced no iterations (empty trace)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EplaceError {}
+
+impl EplaceError {
+    /// Shorthand for a [`EplaceError::Parse`].
+    pub fn parse(file: impl Into<String>, line: usize, message: impl Into<String>) -> Self {
+        EplaceError::Parse {
+            file: file.into(),
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for a [`EplaceError::Io`].
+    pub fn io(path: impl Into<String>, message: impl Into<String>) -> Self {
+        EplaceError::Io {
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+
+    /// `true` when the error is a divergence (the design still carries the
+    /// best-so-far placement, so a caller may choose to keep going).
+    pub fn is_diverged(&self) -> bool {
+        matches!(self, EplaceError::Diverged(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = EplaceError::parse("x.nodes", 7, "bad token");
+        assert_eq!(e.to_string(), "x.nodes:7: bad token");
+        let io = EplaceError::io("/nope", "not found");
+        assert!(io.to_string().contains("/nope"));
+        let empty = EplaceError::EmptyTrace {
+            stage: "mGP".into(),
+        };
+        assert!(empty.to_string().contains("mGP"));
+    }
+
+    #[test]
+    fn validation_display_lists_issues() {
+        let e = EplaceError::Validation {
+            issues: vec![ValidationIssue {
+                severity: Severity::Error,
+                subject: "cell0".into(),
+                message: "zero area".into(),
+                repaired: true,
+            }],
+        };
+        let s = e.to_string();
+        assert!(s.contains("1 issue"));
+        assert!(s.contains("cell0"));
+        assert!(s.contains("repaired"));
+    }
+
+    #[test]
+    fn diverged_display_carries_best_metrics() {
+        let e = EplaceError::Diverged(DivergenceReport {
+            stage: "mGP".into(),
+            iteration: 42,
+            trips: 4,
+            retry_budget: 3,
+            reason: DivergenceReason::NonFiniteGradient,
+            best_hpwl: 1.25e6,
+            best_overflow: 0.31,
+        });
+        assert!(e.is_diverged());
+        let s = e.to_string();
+        assert!(s.contains("iteration 42"));
+        assert!(s.contains("non-finite gradient"));
+        assert!(s.contains("0.31"));
+    }
+
+    #[test]
+    fn severity_and_reason_display() {
+        assert_eq!(Severity::Warning.to_string(), "warning");
+        assert_eq!(
+            DivergenceReason::SteplengthCollapse.to_string(),
+            "steplength collapse"
+        );
+    }
+}

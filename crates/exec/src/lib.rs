@@ -38,6 +38,8 @@
 //! assert_eq!(total, 499_500.0);
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -141,16 +143,27 @@ where
                     break;
                 }
                 let result = work(i, chunk_range(len, num_chunks, i));
-                *slots[i].lock().unwrap() = Some(result);
+                // A worker never panics while holding the lock (the store is
+                // the only operation inside), so poison cannot carry state;
+                // recover rather than unwrap to keep the guarantee local.
+                *slots[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
             });
         }
     });
     slots
         .into_iter()
         .map(|slot| {
-            slot.into_inner()
-                .unwrap()
-                .expect("every chunk slot is filled before the scope ends")
+            match slot
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+            {
+                Some(result) => result,
+                // The scope joins every worker and each index is claimed by
+                // exactly one of them, so an empty slot is unreachable.
+                None => unreachable!("every chunk slot is filled before the scope ends"),
+            }
         })
         .collect()
 }

@@ -18,6 +18,8 @@
 //! assert_eq!(a.overlap_area(&b), 4.0);
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod point;
 mod rect;
 

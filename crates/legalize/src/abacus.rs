@@ -59,11 +59,12 @@ impl SegmentState {
             w: cell.width,
             x: cell.target_xl,
         });
-        // Collapse while the new cluster overlaps its predecessor.
+        // Collapse while the new cluster overlaps its predecessor. The stack
+        // is non-empty throughout (one cluster was just pushed, and merging
+        // only happens with at least two on the stack).
         loop {
             let k = self.clusters.len();
-            {
-                let c = self.clusters.last_mut().unwrap();
+            if let Some(c) = self.clusters.last_mut() {
                 c.x = (c.q / c.e).clamp(xl, xh - c.w);
             }
             if k < 2 {
@@ -74,8 +75,9 @@ impl SegmentState {
                 break;
             }
             // Merge the last cluster into its predecessor.
-            let last = self.clusters.pop().unwrap();
-            let prev = self.clusters.last_mut().unwrap();
+            let (Some(last), Some(prev)) = (self.clusters.pop(), self.clusters.last_mut()) else {
+                break;
+            };
             prev.q += last.q - last.e * prev.w;
             prev.e += last.e;
             prev.w += last.w;

@@ -35,6 +35,8 @@
 //! # }
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod abacus;
 mod detail;
 mod rows;

@@ -35,6 +35,8 @@
 //! assert!(report.macro_overlap_after <= report.macro_overlap_before);
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod engine;
 
 pub use engine::{legalize_macros, MlgReport};

@@ -25,12 +25,16 @@
 //! assert_eq!(design.hpwl(), 20.0);
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod builder;
 mod design;
+mod lint;
 mod stats;
 
 pub use builder::DesignBuilder;
 pub use design::{Cell, CellId, CellKind, Design, Net, NetId, Pin, Row};
+pub use lint::{lint_design, LintPolicy, LintReport};
 pub use stats::DesignStats;
 
 use eplace_geometry::Rect;

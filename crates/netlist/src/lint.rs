@@ -1,0 +1,315 @@
+//! Post-parse design validation: the guard between the Bookshelf reader and
+//! the optimizer.
+//!
+//! Real benchmark files (and fuzzed/degenerate synthetic ones) contain
+//! constructs the analytic placer cannot digest: zero-area objects make the
+//! preconditioner and filler budget degenerate, single-pin nets contribute
+//! nothing but still cost gradient work, pins outside their owner's outline
+//! break the WA model's locality assumptions, and non-finite coordinates
+//! poison every downstream kernel. [`lint_design`] scans for these, and —
+//! depending on [`LintPolicy`] — either rejects the design with a structured
+//! [`EplaceError::Validation`] or repairs it in place and reports what it
+//! changed.
+
+use crate::Design;
+use eplace_errors::{EplaceError, Severity, ValidationIssue};
+
+/// What to do when the lint pass finds a problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintPolicy {
+    /// Return [`EplaceError::Validation`] if any [`Severity::Error`] issue is
+    /// present; warnings are reported but do not abort.
+    Reject,
+    /// Fix every repairable issue in place (warn-and-repair) and report the
+    /// full list; only unrepairable errors abort.
+    Repair,
+}
+
+/// Outcome of a lint pass: every diagnostic, in discovery order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LintReport {
+    /// Diagnostics (warnings and repaired errors).
+    pub issues: Vec<ValidationIssue>,
+}
+
+impl LintReport {
+    /// Number of issues the pass repaired in place.
+    pub fn repairs(&self) -> usize {
+        self.issues.iter().filter(|i| i.repaired).count()
+    }
+
+    /// `true` when the design was already clean.
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+/// Validates (and under [`LintPolicy::Repair`], fixes) a parsed design.
+///
+/// Checks, in order:
+///
+/// 1. **Non-finite or non-positive cell dimensions** (error) — repaired by
+///    clamping to the smallest positive dimension seen in the design (or
+///    1.0 when none exists).
+/// 2. **Non-finite positions** (error) — repaired by moving the cell to the
+///    region center.
+/// 3. **Degenerate nets** with fewer than two pins (warning) — repaired by
+///    removing the net (a single-pin net has zero HPWL by definition).
+/// 4. **Pins outside their owner's outline** (warning) — repaired by
+///    clamping the offset into the outline.
+/// 5. **Fixed cells entirely outside the region** (warning) — reported only;
+///    IO pads legitimately sit on or beyond the core boundary, so no repair
+///    is attempted.
+///
+/// # Errors
+///
+/// Under [`LintPolicy::Reject`], returns [`EplaceError::Validation`] when any
+/// error-severity issue is found. Under [`LintPolicy::Repair`] every listed
+/// issue is repairable, so the pass always succeeds and the report says what
+/// changed.
+pub fn lint_design(design: &mut Design, policy: LintPolicy) -> Result<LintReport, EplaceError> {
+    let mut report = LintReport::default();
+    let repair = policy == LintPolicy::Repair;
+
+    // Smallest strictly-positive dimension: the repair size for degenerate
+    // outlines, so a repaired cell stays in scale with its neighbours.
+    let min_dim = design
+        .cells
+        .iter()
+        .flat_map(|c| [c.size.width, c.size.height])
+        .filter(|d| d.is_finite() && *d > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    let repair_dim = if min_dim.is_finite() { min_dim } else { 1.0 };
+
+    for i in 0..design.cells.len() {
+        let cell = &mut design.cells[i];
+        let w_bad = !cell.size.width.is_finite() || cell.size.width <= 0.0;
+        let h_bad = !cell.size.height.is_finite() || cell.size.height <= 0.0;
+        if w_bad || h_bad {
+            if repair {
+                if w_bad {
+                    cell.size.width = repair_dim;
+                }
+                if h_bad {
+                    cell.size.height = repair_dim;
+                }
+            }
+            report.issues.push(ValidationIssue {
+                severity: Severity::Error,
+                subject: cell.name.clone(),
+                message: "zero, negative, or non-finite dimensions".into(),
+                repaired: repair,
+            });
+        }
+        if !cell.pos.x.is_finite() || !cell.pos.y.is_finite() {
+            let center = design.region.center();
+            if repair {
+                cell.pos = center;
+            }
+            report.issues.push(ValidationIssue {
+                severity: Severity::Error,
+                subject: cell.name.clone(),
+                message: "non-finite position".into(),
+                repaired: repair,
+            });
+        }
+    }
+
+    // Degenerate nets: fewer than two pins. Under repair they are removed
+    // wholesale (and cell_nets rebuilt once at the end).
+    let mut removed_nets = false;
+    let mut keep = Vec::with_capacity(design.nets.len());
+    for net in design.nets.drain(..) {
+        if net.degree() >= 2 {
+            keep.push(net);
+            continue;
+        }
+        report.issues.push(ValidationIssue {
+            severity: Severity::Warning,
+            subject: net.name.clone(),
+            message: format!("degenerate net with {} pin(s)", net.degree()),
+            repaired: repair,
+        });
+        if repair {
+            removed_nets = true;
+        } else {
+            keep.push(net);
+        }
+    }
+    design.nets = keep;
+
+    // Pins outside their owner's outline.
+    for net in design.nets.iter_mut() {
+        for pin in net.pins.iter_mut() {
+            let cell = &design.cells[pin.cell.index()];
+            let hw = 0.5 * cell.size.width;
+            let hh = 0.5 * cell.size.height;
+            let outside = !pin.offset.x.is_finite()
+                || !pin.offset.y.is_finite()
+                || pin.offset.x.abs() > hw + 1e-9
+                || pin.offset.y.abs() > hh + 1e-9;
+            if !outside {
+                continue;
+            }
+            if repair {
+                pin.offset.x = if pin.offset.x.is_finite() {
+                    pin.offset.x.clamp(-hw, hw)
+                } else {
+                    0.0
+                };
+                pin.offset.y = if pin.offset.y.is_finite() {
+                    pin.offset.y.clamp(-hh, hh)
+                } else {
+                    0.0
+                };
+            }
+            report.issues.push(ValidationIssue {
+                severity: Severity::Warning,
+                subject: format!("{}/{}", net.name, cell.name),
+                message: "pin offset outside owner cell outline".into(),
+                repaired: repair,
+            });
+        }
+    }
+
+    // Fixed objects entirely outside the region: legitimate for IO pads,
+    // but a macro-sized blockage off-region usually means bad coordinates.
+    for cell in design.cells.iter() {
+        if cell.fixed && cell.rect().overlap_area(&design.region) == 0.0 {
+            report.issues.push(ValidationIssue {
+                severity: Severity::Warning,
+                subject: cell.name.clone(),
+                message: format!(
+                    "fixed {:?} entirely outside the placement region",
+                    cell.kind
+                ),
+                repaired: false,
+            });
+        }
+    }
+
+    if removed_nets {
+        design.rebuild_cell_nets();
+    }
+
+    if policy == LintPolicy::Reject && report.issues.iter().any(|i| i.severity == Severity::Error) {
+        return Err(EplaceError::Validation {
+            issues: report.issues,
+        });
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CellKind, DesignBuilder};
+    use eplace_geometry::{Point, Rect};
+
+    fn base() -> DesignBuilder {
+        DesignBuilder::new("lint", Rect::new(0.0, 0.0, 100.0, 100.0))
+    }
+
+    #[test]
+    fn clean_design_passes_both_policies() {
+        let mut b = base();
+        let a = b.add_cell("a", 2.0, 2.0, CellKind::StdCell);
+        let c = b.add_cell("b", 2.0, 2.0, CellKind::StdCell);
+        b.add_net("n", vec![(a, Point::ORIGIN), (c, Point::ORIGIN)]);
+        let mut d = b.build();
+        assert!(lint_design(&mut d, LintPolicy::Reject).unwrap().is_clean());
+        assert!(lint_design(&mut d, LintPolicy::Repair).unwrap().is_clean());
+    }
+
+    #[test]
+    fn zero_area_cell_rejected_then_repaired() {
+        let mut b = base();
+        b.add_cell("ok", 4.0, 4.0, CellKind::StdCell);
+        b.add_cell("flat", 4.0, 4.0, CellKind::StdCell);
+        let mut d = b.build();
+        d.cells[1].size.height = 0.0;
+        let err = lint_design(&mut d.clone(), LintPolicy::Reject).unwrap_err();
+        assert!(matches!(err, EplaceError::Validation { .. }));
+        assert!(err.to_string().contains("flat"));
+
+        let report = lint_design(&mut d, LintPolicy::Repair).unwrap();
+        assert_eq!(report.repairs(), 1);
+        // Repaired to the smallest positive dimension in the design.
+        assert_eq!(d.cells[1].size.height, 4.0);
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn negative_and_nonfinite_dimensions_flagged() {
+        let mut b = base();
+        b.add_cell("neg", 1.0, 1.0, CellKind::StdCell);
+        b.add_cell("nan", 1.0, 1.0, CellKind::StdCell);
+        let mut d = b.build();
+        d.cells[0].size.width = -3.0;
+        d.cells[1].size.width = f64::NAN;
+        let report = lint_design(&mut d, LintPolicy::Repair).unwrap();
+        assert_eq!(report.issues.len(), 2);
+        assert!(d.cells.iter().all(|c| c.size.width > 0.0));
+    }
+
+    #[test]
+    fn nonfinite_position_moved_to_center() {
+        let mut b = base();
+        b.add_cell("lost", 2.0, 2.0, CellKind::StdCell);
+        let mut d = b.build();
+        d.cells[0].pos = Point::new(f64::NAN, 5.0);
+        let report = lint_design(&mut d, LintPolicy::Repair).unwrap();
+        assert_eq!(report.repairs(), 1);
+        assert_eq!(d.cells[0].pos, d.region.center());
+        // Reject policy treats it as an error.
+        d.cells[0].pos = Point::new(f64::INFINITY, 5.0);
+        assert!(lint_design(&mut d, LintPolicy::Reject).is_err());
+    }
+
+    #[test]
+    fn degenerate_net_warned_and_removed() {
+        let mut b = base();
+        let a = b.add_cell("a", 2.0, 2.0, CellKind::StdCell);
+        let c = b.add_cell("b", 2.0, 2.0, CellKind::StdCell);
+        b.add_net("good", vec![(a, Point::ORIGIN), (c, Point::ORIGIN)]);
+        b.add_net("lonely", vec![(a, Point::ORIGIN)]);
+        let mut d = b.build();
+        // Reject keeps the net (warning only) …
+        let report = lint_design(&mut d.clone(), LintPolicy::Reject).unwrap();
+        assert_eq!(report.issues.len(), 1);
+        assert_eq!(report.issues[0].severity, Severity::Warning);
+        // … repair drops it and rebuilds incidence.
+        let report = lint_design(&mut d, LintPolicy::Repair).unwrap();
+        assert_eq!(report.repairs(), 1);
+        assert_eq!(d.nets.len(), 1);
+        assert_eq!(d.cell_nets[a.index()].len(), 1);
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn pin_outside_owner_clamped() {
+        let mut b = base();
+        let a = b.add_cell("a", 2.0, 2.0, CellKind::StdCell);
+        let c = b.add_cell("b", 2.0, 2.0, CellKind::StdCell);
+        b.add_net("n", vec![(a, Point::new(9.0, 0.0)), (c, Point::ORIGIN)]);
+        let mut d = b.build();
+        let report = lint_design(&mut d, LintPolicy::Repair).unwrap();
+        assert_eq!(report.repairs(), 1);
+        assert_eq!(d.nets[0].pins[0].offset, Point::new(1.0, 0.0));
+        // Clean after repair.
+        assert!(lint_design(&mut d, LintPolicy::Repair).unwrap().is_clean());
+    }
+
+    #[test]
+    fn fixed_cell_outside_region_warns_only() {
+        let mut b = base();
+        let m = b.add_cell("mac", 10.0, 10.0, CellKind::Macro);
+        let mut d = b.build();
+        d.cells[m.index()].fixed = true;
+        d.cells[m.index()].pos = Point::new(500.0, 500.0);
+        let report = lint_design(&mut d, LintPolicy::Reject).unwrap();
+        assert_eq!(report.issues.len(), 1);
+        assert!(!report.issues[0].repaired);
+        assert_eq!(d.cells[m.index()].pos, Point::new(500.0, 500.0));
+    }
+}

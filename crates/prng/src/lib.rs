@@ -25,6 +25,8 @@
 //! assert!((-1.5..=1.5).contains(&y));
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Generator namespace, mirroring `rand::rngs`.

@@ -42,6 +42,8 @@
 //! }
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod complex;
 mod dct;
 mod fft;

@@ -1,0 +1,198 @@
+//! Deterministic fault injection for text streams.
+//!
+//! The robustness suites need to feed the Bookshelf readers *systematically
+//! broken* input: truncated files, mangled tokens, spliced garbage. Doing
+//! that with ad-hoc string surgery scatters the corruption logic across
+//! tests and makes failures unreproducible; this module centralizes it
+//! behind the same deterministic [`Gen`] streams the property harness uses,
+//! so every corrupted stream is replayable from a seed.
+//!
+//! The operators never panic on any input (including empty text) and always
+//! return owned strings; whether the *consumer* of the corrupted text
+//! panics is exactly what the robustness tests check.
+
+use crate::Gen;
+
+/// A corruption operator over a text stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TextFault {
+    /// Cut the stream at an arbitrary character boundary (a partial write
+    /// or interrupted download).
+    TruncateBytes,
+    /// Keep only a prefix of the lines (a truncated file that still ends
+    /// cleanly).
+    TruncateLines,
+    /// Remove one line (a lost record; counts no longer match).
+    DropLine,
+    /// Repeat one line (a duplicated record).
+    DuplicateLine,
+    /// Replace one whitespace-separated token with a non-numeric scribble.
+    MangleToken,
+    /// Insert a line of garbage at an arbitrary position.
+    SpliceGarbage,
+}
+
+/// Every operator, for exhaustive sweeps.
+pub const TEXT_FAULTS: [TextFault; 6] = [
+    TextFault::TruncateBytes,
+    TextFault::TruncateLines,
+    TextFault::DropLine,
+    TextFault::DuplicateLine,
+    TextFault::MangleToken,
+    TextFault::SpliceGarbage,
+];
+
+/// Tokens guaranteed not to parse as numbers (note `NaN`/`inf` DO parse as
+/// `f64`, so they are deliberately absent — numeric poison is a different
+/// failure class, injected at the gradient level instead).
+const GARBAGE_TOKENS: [&str; 5] = ["q7#", "--", "0x", "%%", ":::"];
+
+/// Applies `fault` to `text`, drawing all randomness from `g`.
+pub fn apply_text_fault(text: &str, fault: TextFault, g: &mut Gen) -> String {
+    match fault {
+        TextFault::TruncateBytes => {
+            let boundaries: Vec<usize> = text.char_indices().map(|(i, _)| i).collect();
+            if boundaries.is_empty() {
+                return String::new();
+            }
+            let cut = boundaries[g.usize_range(0, boundaries.len() - 1)];
+            text[..cut].to_string()
+        }
+        TextFault::TruncateLines => {
+            let lines: Vec<&str> = text.lines().collect();
+            if lines.is_empty() {
+                return String::new();
+            }
+            let keep = g.usize_range(0, lines.len() - 1);
+            join_lines(&lines[..keep])
+        }
+        TextFault::DropLine => {
+            let mut lines: Vec<&str> = text.lines().collect();
+            if lines.is_empty() {
+                return String::new();
+            }
+            let victim = g.usize_range(0, lines.len() - 1);
+            lines.remove(victim);
+            join_lines(&lines)
+        }
+        TextFault::DuplicateLine => {
+            let mut lines: Vec<&str> = text.lines().collect();
+            if lines.is_empty() {
+                return String::new();
+            }
+            let victim = g.usize_range(0, lines.len() - 1);
+            lines.insert(victim, lines[victim]);
+            join_lines(&lines)
+        }
+        TextFault::MangleToken => {
+            let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+            if lines.is_empty() {
+                return String::new();
+            }
+            let row = g.usize_range(0, lines.len() - 1);
+            let mut toks: Vec<String> = lines[row].split_whitespace().map(str::to_string).collect();
+            if toks.is_empty() {
+                lines[row] = (*g.choose(&GARBAGE_TOKENS)).to_string();
+            } else {
+                let col = g.usize_range(0, toks.len() - 1);
+                toks[col] = (*g.choose(&GARBAGE_TOKENS)).to_string();
+                lines[row] = toks.join(" ");
+            }
+            let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+            join_lines(&refs)
+        }
+        TextFault::SpliceGarbage => {
+            let mut lines: Vec<&str> = text.lines().collect();
+            let at = if lines.is_empty() {
+                0
+            } else {
+                g.usize_range(0, lines.len())
+            };
+            let garbage = *g.choose(&GARBAGE_TOKENS);
+            lines.insert(at, garbage);
+            join_lines(&lines)
+        }
+    }
+}
+
+/// Picks a random operator and applies it, returning which one fired.
+pub fn corrupt_text(text: &str, g: &mut Gen) -> (TextFault, String) {
+    let fault = *g.choose(&TEXT_FAULTS);
+    let out = apply_text_fault(text, fault, g);
+    (fault, out)
+}
+
+fn join_lines(lines: &[&str]) -> String {
+    let mut out = lines.join("\n");
+    if !lines.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check;
+
+    const SAMPLE: &str = "NumNodes : 3\na 4 8\nb 6 8\nio 2 2 terminal\n";
+
+    #[test]
+    fn operators_are_deterministic() {
+        for fault in TEXT_FAULTS {
+            let a = apply_text_fault(SAMPLE, fault, &mut Gen::from_seed(7));
+            let b = apply_text_fault(SAMPLE, fault, &mut Gen::from_seed(7));
+            assert_eq!(a, b, "{fault:?} must be replayable from its seed");
+        }
+    }
+
+    #[test]
+    fn operators_never_panic_even_on_empty_input() {
+        for fault in TEXT_FAULTS {
+            let _ = apply_text_fault("", fault, &mut Gen::from_seed(1));
+            let _ = apply_text_fault("one token", fault, &mut Gen::from_seed(2));
+        }
+    }
+
+    #[test]
+    fn truncate_bytes_shortens() {
+        check("truncate shortens", 32, |g| {
+            let out = apply_text_fault(SAMPLE, TextFault::TruncateBytes, g);
+            assert!(out.len() < SAMPLE.len());
+            assert!(SAMPLE.starts_with(&out));
+        });
+    }
+
+    #[test]
+    fn drop_and_duplicate_change_line_count() {
+        check("line count changes", 32, |g| {
+            let n = SAMPLE.lines().count();
+            let dropped = apply_text_fault(SAMPLE, TextFault::DropLine, g);
+            assert_eq!(dropped.lines().count(), n - 1);
+            let doubled = apply_text_fault(SAMPLE, TextFault::DuplicateLine, g);
+            assert_eq!(doubled.lines().count(), n + 1);
+        });
+    }
+
+    #[test]
+    fn mangled_token_is_not_numeric() {
+        for t in GARBAGE_TOKENS {
+            assert!(t.parse::<f64>().is_err(), "{t} must not parse as f64");
+        }
+        check("mangle alters text", 32, |g| {
+            let out = apply_text_fault(SAMPLE, TextFault::MangleToken, g);
+            assert_ne!(out, SAMPLE);
+        });
+    }
+
+    #[test]
+    fn corrupt_text_reports_operator() {
+        check("corrupt reports", 64, |g| {
+            let (fault, out) = corrupt_text(SAMPLE, g);
+            assert!(TEXT_FAULTS.contains(&fault));
+            // Every operator changes the sample (it has no duplicate-safe
+            // blank lines and every line carries tokens).
+            assert_ne!(out, SAMPLE);
+        });
+    }
+}

@@ -22,6 +22,12 @@
 //! });
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod fault;
+
+pub use fault::{apply_text_fault, corrupt_text, TextFault, TEXT_FAULTS};
+
 use eplace_prng::{Rng, SeedableRng, StdRng};
 use std::panic::AssertUnwindSafe;
 

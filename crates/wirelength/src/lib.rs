@@ -33,6 +33,8 @@
 //! assert!(smooth <= 70.0 + 1e-9); // WA underestimates HPWL
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod lse;
 mod schedule;
 mod wa;

@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // 3. Place and write the contest deliverable.
     let mut placer = Placer::new(parsed, EplaceConfig::fast());
-    let report = placer.run();
+    let report = placer.run().expect("placement diverged beyond recovery");
     println!(
         "placed: HPWL {:.4e}, scaled {:.4e}, tau {:.3}",
         report.final_hpwl, report.scaled_hpwl, report.final_overflow

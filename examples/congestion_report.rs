@@ -20,7 +20,7 @@ fn main() {
     report(&before);
 
     let mut placer = Placer::new(design, EplaceConfig::fast());
-    let run = placer.run();
+    let run = placer.run().expect("placement diverged beyond recovery");
     println!(
         "\nplaced: HPWL {:.4e}, overflow {:.3}",
         run.final_hpwl, run.final_overflow

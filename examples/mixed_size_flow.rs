@@ -18,7 +18,7 @@ fn main() {
     println!("circuit: {}", DesignStats::of(&design));
 
     let mut placer = Placer::new(design, EplaceConfig::fast());
-    let report = placer.run();
+    let report = placer.run().expect("placement diverged beyond recovery");
 
     // mGP: the heavy lifting (Fig. 2's first phase).
     let mgp: Vec<_> = report

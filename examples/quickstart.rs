@@ -22,7 +22,7 @@ fn main() {
     // The full flow: mIP -> mGP -> cDP (mLG/cGP are skipped automatically
     // because this suite's macros are fixed).
     let mut placer = Placer::new(design, EplaceConfig::fast());
-    let report = placer.run();
+    let report = placer.run().expect("placement diverged beyond recovery");
 
     println!("initial (random) HPWL : {:.4e}", hpwl_scattered);
     println!("after mIP (quadratic) : {:.4e}", report.mip.hpwl_after);

@@ -22,7 +22,7 @@
 //!     .scale(200)
 //!     .generate();
 //! let mut placer = Placer::new(design, EplaceConfig::fast());
-//! let report = placer.run();
+//! let report = placer.run().unwrap();
 //! assert!(report.final_hpwl.is_finite());
 //! # }
 //! ```
@@ -60,3 +60,7 @@ pub use eplace_legalize as legalize;
 
 /// Baseline placers (min-cut, quadratic, bell-shape, CG).
 pub use eplace_baselines as baselines;
+
+/// Structured error taxonomy ([`EplaceError`](eplace_errors::EplaceError),
+/// divergence reports, validation issues).
+pub use eplace_errors as errors;

@@ -124,7 +124,13 @@ fn main() -> ExitCode {
     };
     config.threads = args.threads;
     let mut placer = Placer::new(design, config);
-    let report = placer.run();
+    let report = match placer.run() {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: placement failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     println!("final HPWL        : {:.6e}", report.final_hpwl);
     println!("scaled HPWL       : {:.6e}", report.scaled_hpwl);

@@ -13,7 +13,7 @@ fn eplace_beats_every_non_edensity_family() {
 
     let eplace_hpwl = {
         let mut placer = Placer::new(config.generate(), EplaceConfig::fast());
-        let report = placer.run();
+        let report = placer.run().unwrap();
         assert!(report.legalization.is_some());
         report.final_hpwl
     };

@@ -1,0 +1,132 @@
+//! End-to-end fault injection: a poisoned gradient mid-mGP must trip the
+//! divergence sentinel, roll back to the last checkpoint, and still converge
+//! — and the guard must be invisible (bit-identical) on healthy runs.
+
+use eplace_repro::benchgen::BenchmarkConfig;
+use eplace_repro::core::{EplaceConfig, FaultKind, GradientFault, Placer};
+use eplace_repro::errors::EplaceError;
+
+fn small_design() -> eplace_repro::netlist::Design {
+    BenchmarkConfig::ispd05_like("fi", 901)
+        .scale(200)
+        .generate()
+}
+
+fn trace_key(report: &eplace_repro::core::PlacementReport) -> Vec<(u64, u64)> {
+    report
+        .trace
+        .iter()
+        .map(|r| (r.hpwl.to_bits(), r.overflow.to_bits()))
+        .collect()
+}
+
+#[test]
+fn nan_mid_mgp_recovers_and_converges() {
+    let mut cfg = EplaceConfig::fast();
+    // Evaluation 40 lands well inside mGP, past several checkpoints.
+    cfg.fault = Some(GradientFault::nan_at(40));
+    let mut placer = Placer::new(small_design(), cfg);
+    let report = placer.run().expect("one-shot fault must be recoverable");
+    assert!(report.recoveries > 0, "sentinel never tripped");
+    assert!(report.mgp_converged, "tau = {}", report.final_overflow);
+    assert!(report.final_hpwl.is_finite());
+    assert!(placer
+        .design()
+        .cells
+        .iter()
+        .all(|c| c.pos.x.is_finite() && c.pos.y.is_finite()));
+}
+
+#[test]
+fn inf_fault_also_recovers() {
+    let mut cfg = EplaceConfig::fast();
+    cfg.fault = Some(GradientFault {
+        at_evaluation: 55,
+        component: 7,
+        kind: FaultKind::Inf,
+        repeat: false,
+    });
+    let mut placer = Placer::new(small_design(), cfg);
+    let report = placer
+        .run()
+        .expect("one-shot Inf fault must be recoverable");
+    assert!(report.recoveries > 0);
+    assert!(report.final_hpwl.is_finite());
+}
+
+#[test]
+fn repeating_fault_exhausts_budget_with_structured_error() {
+    let mut cfg = EplaceConfig::fast();
+    cfg.fault = Some(GradientFault::nan_at(30).repeating());
+    let mut placer = Placer::new(small_design(), cfg);
+    let err = placer.run().expect_err("persistent fault cannot be outrun");
+    match &err {
+        EplaceError::Diverged(report) => {
+            assert_eq!(report.stage, "mGP");
+            assert!(report.trips > report.retry_budget);
+            assert!(
+                report.best_hpwl.is_finite(),
+                "best-so-far must be a real placement"
+            );
+        }
+        other => panic!("expected Diverged, got {other}"),
+    }
+    assert!(err.is_diverged());
+    // The design holds the best placement seen before the failure, not the
+    // poisoned iterate.
+    assert!(placer
+        .design()
+        .cells
+        .iter()
+        .all(|c| c.pos.x.is_finite() && c.pos.y.is_finite()));
+}
+
+#[test]
+fn armed_but_unfired_fault_is_bit_identical_to_clean_run() {
+    let clean = {
+        let mut placer = Placer::new(small_design(), EplaceConfig::fast());
+        let report = placer.run().unwrap();
+        let pos: Vec<(u64, u64)> = placer
+            .design()
+            .cells
+            .iter()
+            .map(|c| (c.pos.x.to_bits(), c.pos.y.to_bits()))
+            .collect();
+        (trace_key(&report), pos)
+    };
+    let armed = {
+        let mut cfg = EplaceConfig::fast();
+        // Far beyond any evaluation the run performs: never fires, and the
+        // guard machinery must leave no trace on the trajectory.
+        cfg.fault = Some(GradientFault::nan_at(usize::MAX));
+        let mut placer = Placer::new(small_design(), cfg);
+        let report = placer.run().unwrap();
+        assert_eq!(report.recoveries, 0);
+        let pos: Vec<(u64, u64)> = placer
+            .design()
+            .cells
+            .iter()
+            .map(|c| (c.pos.x.to_bits(), c.pos.y.to_bits()))
+            .collect();
+        (trace_key(&report), pos)
+    };
+    assert_eq!(clean.0, armed.0, "trace diverged");
+    assert_eq!(clean.1, armed.1, "final positions diverged");
+}
+
+#[test]
+fn recovered_run_matches_rerun_of_itself() {
+    // Recovery is itself deterministic: the same fault yields the same
+    // trajectory on every run.
+    let run = || {
+        let mut cfg = EplaceConfig::fast();
+        cfg.fault = Some(GradientFault::nan_at(40));
+        let mut placer = Placer::new(small_design(), cfg);
+        let report = placer.run().unwrap();
+        (report.recoveries, trace_key(&report))
+    };
+    let a = run();
+    let b = run();
+    assert!(a.0 > 0);
+    assert_eq!(a, b);
+}

@@ -11,7 +11,7 @@ fn stdcell_flow_produces_legal_low_overflow_layout() {
         .scale(300)
         .generate();
     let mut placer = Placer::new(design, EplaceConfig::fast());
-    let report = placer.run();
+    let report = placer.run().unwrap();
     assert!(report.mgp_converged, "tau = {}", report.final_overflow);
     assert!(
         check_legal(placer.design()).is_ok(),
@@ -31,7 +31,7 @@ fn mixed_size_flow_runs_all_stages_and_fixes_macros() {
         .scale(300)
         .generate();
     let mut placer = Placer::new(design, EplaceConfig::fast());
-    let report = placer.run();
+    let report = placer.run().unwrap();
     let stages: std::collections::HashSet<_> = report.trace.iter().map(|r| r.stage).collect();
     assert!(stages.contains(&Stage::Mgp));
     assert!(stages.contains(&Stage::FillerOnly));
@@ -59,7 +59,7 @@ fn density_constrained_flow_respects_rho_t() {
         .scale(300)
         .generate();
     let mut placer = Placer::new(design, EplaceConfig::fast());
-    let report = placer.run();
+    let report = placer.run().unwrap();
     assert!(report.scaled_hpwl >= report.final_hpwl);
     // Global placement drove the rho_t = 0.6 overflow down.
     assert!(
@@ -76,7 +76,7 @@ fn flow_is_deterministic() {
             .scale(250)
             .generate();
         let mut placer = Placer::new(design, EplaceConfig::fast());
-        let report = placer.run();
+        let report = placer.run().unwrap();
         (
             report.final_hpwl,
             report.mgp_iterations,
@@ -92,7 +92,7 @@ fn trace_is_structurally_sound() {
         .scale(250)
         .generate();
     let mut placer = Placer::new(design, EplaceConfig::fast());
-    let report = placer.run();
+    let report = placer.run().unwrap();
     let mgp: Vec<_> = report
         .trace
         .iter()

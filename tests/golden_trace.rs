@@ -26,7 +26,7 @@ fn golden_trace_csv() -> String {
         .scale(150)
         .generate();
     let mut placer = Placer::new(design, EplaceConfig::fast());
-    let report = placer.run();
+    let report = placer.run().unwrap();
     trace_to_csv(&report.trace)
 }
 

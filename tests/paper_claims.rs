@@ -10,7 +10,7 @@ fn final_hpwl(cfg: &EplaceConfig, seed: u64) -> (f64, bool) {
         .scale(300)
         .generate();
     let mut placer = Placer::new(design, cfg.clone());
-    let report = placer.run();
+    let report = placer.run().unwrap();
     (
         report.final_hpwl,
         report.mgp_converged && report.legalization.is_some(),
@@ -66,7 +66,7 @@ fn backtrack_rate_matches_paper_order_of_magnitude() {
         .scale(300)
         .generate();
     let mut placer = Placer::new(design, EplaceConfig::fast());
-    let report = placer.run();
+    let report = placer.run().unwrap();
     assert!(
         report.mgp_backtracks_per_iteration < 3.0,
         "backtracks/iter = {} — far above the paper's ~1",
@@ -84,7 +84,7 @@ fn nesterov_beats_cg_runtime_at_comparable_quality() {
     let t = std::time::Instant::now();
     let design = config.generate();
     let mut placer = Placer::new(design, EplaceConfig::fast());
-    let eplace_report = placer.run();
+    let eplace_report = placer.run().unwrap();
     let eplace_secs = t.elapsed().as_secs_f64();
 
     let mut design = config.generate();
