@@ -1,6 +1,7 @@
 use crate::SMOOTH_FACTOR;
 use eplace_exec::{deterministic_chunks, map_chunks, ExecConfig};
 use eplace_geometry::{overlap_1d, Point, Rect, Size};
+use eplace_obs::{Obs, DURATION_NS_EDGES};
 use eplace_spectral::Transform2d;
 use std::f64::consts::PI;
 
@@ -111,6 +112,8 @@ pub struct DensityGrid {
     solved: bool,
     /// Execution policy for the deposit sweep and the spectral solve.
     exec: ExecConfig,
+    /// Observability recorder (disabled by default — zero overhead).
+    obs: Obs,
 }
 
 impl DensityGrid {
@@ -149,6 +152,7 @@ impl DensityGrid {
             movable_area: 0.0,
             solved: false,
             exec: ExecConfig::serial(),
+            obs: Obs::disabled(),
         }
     }
 
@@ -167,6 +171,23 @@ impl DensityGrid {
     /// Builder-style [`DensityGrid::set_exec`].
     pub fn with_exec(mut self, exec: ExecConfig) -> Self {
         self.set_exec(exec);
+        self
+    }
+
+    /// Sets the observability recorder: deposits record a `density_deposit`
+    /// span, solves a `density_solve` span plus the `spectral_solve_ns`
+    /// histogram and the `density_solves` counter. The recorder never feeds
+    /// back into the numerics, so results are bit-identical either way.
+    /// Does not propagate to the owned [`Transform2d`]s — transform-level
+    /// spans would land on solver worker threads as detached roots; the
+    /// solve-level span already covers them.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// Builder-style [`DensityGrid::set_obs`].
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.set_obs(obs);
         self
     }
 
@@ -265,6 +286,7 @@ impl DensityGrid {
             pos.len(),
             "objects/positions length mismatch"
         );
+        let _span = self.obs.span("density_deposit");
         if self.exec.is_serial() || objects.len() < DEPOSIT_MIN_CHUNK {
             self.deposit_serial(objects, pos);
         } else {
@@ -389,6 +411,8 @@ impl DensityGrid {
     ///
     /// Panics if called before any deposit.
     pub fn solve(&mut self) {
+        let _span = self.obs.span("density_solve");
+        let t0 = self.obs.is_enabled().then(std::time::Instant::now);
         let bin_area = self.bin_w * self.bin_h;
         // ρ per bin (dimensionless utilization); analysis transform.
         for (c, rho) in self.charge.iter().zip(self.coeff.iter_mut()) {
@@ -458,6 +482,14 @@ impl DensityGrid {
             *f *= scale_y;
         }
         self.solved = true;
+        if let Some(t0) = t0 {
+            self.obs.add("density_solves", 1);
+            self.obs.observe(
+                "spectral_solve_ns",
+                DURATION_NS_EDGES,
+                t0.elapsed().as_nanos() as f64,
+            );
+        }
     }
 
     /// Density gradient `∂N/∂(x_i, y_i) = 2·q_i·(∂ψ/∂x, ∂ψ/∂y)` (paper

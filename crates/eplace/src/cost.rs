@@ -5,6 +5,7 @@ use eplace_density::DensityGrid;
 use eplace_exec::ExecConfig;
 use eplace_geometry::Point;
 use eplace_netlist::Design;
+use eplace_obs::Obs;
 use eplace_wirelength::{GammaSchedule, SmoothWirelength, WaModel};
 use std::time::{Duration, Instant};
 
@@ -43,6 +44,7 @@ pub struct EplaceCost<'a> {
     /// Armed gradient fault (fault-injection harness; `None` in production).
     pub fault: Option<GradientFault>,
     grad_nonfinite: bool,
+    obs: Obs,
 }
 
 impl<'a> EplaceCost<'a> {
@@ -81,6 +83,7 @@ impl<'a> EplaceCost<'a> {
             evaluations: 0,
             fault: None,
             grad_nonfinite: false,
+            obs: Obs::disabled(),
         }
     }
 
@@ -106,6 +109,23 @@ impl<'a> EplaceCost<'a> {
     /// Builder form of [`EplaceCost::set_exec`].
     pub fn with_exec(mut self, exec: ExecConfig) -> Self {
         self.set_exec(exec);
+        self
+    }
+
+    /// Sets the observability recorder for the cost and both kernels: the
+    /// WA model gets `wa_gradient`/`wa_eval` spans, the density grid gets
+    /// `density_deposit`/`density_solve` spans plus the
+    /// `spectral_solve_ns` histogram, and each combined gradient evaluation
+    /// bumps `grad_evals_total`.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.wa.set_obs(obs.clone());
+        self.grid.set_obs(obs.clone());
+        self.obs = obs;
+    }
+
+    /// Builder form of [`EplaceCost::set_obs`].
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.set_obs(obs);
         self
     }
 
@@ -217,6 +237,7 @@ impl<'a> EplaceCost<'a> {
 impl Gradient for EplaceCost<'_> {
     fn gradient(&mut self, pos: &[Point], grad: &mut [Point]) {
         self.evaluations += 1;
+        self.obs.add("grad_evals_total", 1);
         // Density: deposit + spectral solve (57 % of mGP in the paper).
         let t0 = Instant::now();
         self.grid.deposit(&self.problem.objects, pos);

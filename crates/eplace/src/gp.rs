@@ -5,6 +5,18 @@ use crate::{EplaceConfig, NesterovOptimizer, PlacementProblem};
 use eplace_density::grid_dimension;
 use eplace_errors::{DivergenceReport, EplaceError, Severity, ValidationIssue};
 use eplace_netlist::Design;
+use eplace_obs::{Record, BACKTRACK_EDGES};
+
+/// Span / counter names need `&'static str`; formatting per iteration would
+/// allocate in the hot loop.
+fn iter_counter(stage: Stage) -> &'static str {
+    match stage {
+        Stage::Mgp => "iters_mgp",
+        Stage::Cgp => "iters_cgp",
+        Stage::FillerOnly => "iters_fillergp",
+        Stage::Mip | Stage::Mlg | Stage::Cdp => "iters_other",
+    }
+}
 
 /// Outcome of one global-placement stage (mGP, filler-only, or cGP).
 #[derive(Debug, Clone, PartialEq)]
@@ -135,6 +147,8 @@ fn run_guarded(
     trace: &mut Vec<IterationRecord>,
 ) -> Result<GpOutcome, EplaceError> {
     let start = std::time::Instant::now();
+    let obs = cfg.obs.clone();
+    let _stage_span = obs.span(stage.key());
     let mut profile = RuntimeProfile::default();
     if problem.is_empty() {
         return Ok(GpOutcome {
@@ -153,8 +167,9 @@ fn run_guarded(
     let dim = grid_dimension(problem.len(), cfg.grid_min, cfg.grid_max);
     let max_iters = max_iterations.unwrap_or(cfg.max_iterations);
 
-    let mut cost =
-        EplaceCost::new(design, problem, dim, dim, cfg.enable_preconditioner).with_exec(cfg.exec());
+    let mut cost = EplaceCost::new(design, problem, dim, dim, cfg.enable_preconditioner)
+        .with_exec(cfg.exec())
+        .with_obs(obs.clone());
     cost.fault = cfg.fault;
 
     let (
@@ -209,6 +224,7 @@ fn run_guarded(
             best_iter = ck.best_iter;
         }
     }
+    optimizer.set_obs(obs.clone());
 
     // Rollback anchor: the most recent known-good state. Starts at the
     // pre-loop state so even an iteration-0 fault has somewhere to land.
@@ -234,6 +250,7 @@ fn run_guarded(
     while spent < max_iters {
         spent += 1;
         iterations = spent;
+        let _iter_span = obs.span("iter");
         let info = optimizer.step(&mut cost);
         let hpwl = cost.hpwl(optimizer.solution());
         let overflow = cost.last_overflow;
@@ -249,6 +266,16 @@ fn run_guarded(
             hpwl_limit,
         ) {
             recoveries += 1;
+            obs.add("recoveries_total", 1);
+            if obs.journal_active() {
+                obs.journal(
+                    Record::new("recovery")
+                        .str_field("stage", stage.key())
+                        .u64_field("iter", iter as u64)
+                        .str_field("reason", &reason.to_string())
+                        .u64_field("trip", recoveries as u64),
+                );
+            }
             if recoveries > cfg.recovery_retries {
                 // Retry budget exhausted: commit the best placement seen and
                 // surface a structured report instead of poisoned positions.
@@ -290,6 +317,32 @@ fn run_guarded(
             alpha: info.alpha,
             backtracks: info.backtracks,
         });
+        if obs.is_enabled() {
+            obs.add(iter_counter(stage), 1);
+            obs.set_gauge("hpwl", hpwl);
+            obs.set_gauge("overflow", overflow);
+            obs.set_gauge("alpha", info.alpha);
+            obs.set_gauge("lambda", cost.lambda);
+            obs.set_gauge("gamma", cost.gamma);
+            obs.observe(
+                "backtracks_per_iter",
+                BACKTRACK_EDGES,
+                info.backtracks as f64,
+            );
+            if obs.journal_active() {
+                obs.journal(
+                    Record::new("iter")
+                        .str_field("stage", stage.key())
+                        .u64_field("iter", iter as u64)
+                        .f64_field("hpwl", hpwl)
+                        .f64_field("overflow", overflow)
+                        .f64_field("alpha", info.alpha)
+                        .f64_field("lambda", cost.lambda)
+                        .f64_field("gamma", cost.gamma)
+                        .u64_field("backtracks", info.backtracks as u64),
+                );
+            }
+        }
         // Best-solution snapshot: when the overflow stops improving (the
         // grid's noise floor on small instances, or a diverging run), λ
         // keeps ratcheting and wirelength degrades without bound — keep the

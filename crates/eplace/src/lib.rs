@@ -47,14 +47,17 @@ mod trace;
 pub use cost::EplaceCost;
 pub use fillers::insert_fillers;
 pub use gp::{resume_global_placement, run_global_placement, GpOutcome};
-pub use mip::{initial_placement, quadratic_solve, Anchor, MipReport};
+pub use mip::{initial_placement, initial_placement_with_obs, quadratic_solve, Anchor, MipReport};
 pub use nesterov::{Gradient, NesterovCheckpoint, NesterovOptimizer, StepInfo};
 pub use placer::{PlacementReport, Placer};
 pub use problem::PlacementProblem;
 pub use recover::{FaultKind, GpCheckpoint, GradientFault};
 pub use trace::{
-    trace_endpoints, trace_to_csv, IterationRecord, RuntimeProfile, Stage, StageTiming,
+    trace_endpoints, trace_to_csv, trace_to_csv_checked, validate_trace, IterationRecord,
+    RuntimeProfile, Stage, StageTiming,
 };
+
+pub use eplace_obs::{Obs, PhaseTime};
 
 use eplace_mlg::MlgConfig;
 
@@ -136,6 +139,13 @@ pub struct EplaceConfig {
     /// `None` in production, where the sentinel is read-only and the
     /// trajectory is bit-identical to the unguarded loop.
     pub fault: Option<GradientFault>,
+    /// Observability recorder threaded through every stage and kernel
+    /// ([`eplace_obs`]). The disabled default costs one branch per
+    /// instrumentation point and records nothing; an enabled recorder
+    /// gathers spans/metrics (and journal lines, if it carries a sink)
+    /// without ever feeding back into the numerics — traces stay
+    /// bit-identical either way.
+    pub obs: Obs,
 }
 
 impl Default for EplaceConfig {
@@ -166,6 +176,7 @@ impl Default for EplaceConfig {
             divergence_hpwl_factor: 1e3,
             divergence_min_alpha: 1e-30,
             fault: None,
+            obs: Obs::disabled(),
         }
     }
 }

@@ -12,6 +12,7 @@
 //! so a single-pass iteration costs exactly one gradient evaluation.
 
 use eplace_geometry::Point;
+use eplace_obs::Obs;
 
 /// A (preconditioned) gradient oracle for [`NesterovOptimizer`].
 pub trait Gradient {
@@ -77,6 +78,7 @@ pub struct NesterovOptimizer {
     scratch_u: Vec<Point>,
     scratch_v: Vec<Point>,
     scratch_g: Vec<Point>,
+    obs: Obs,
 }
 
 impl NesterovOptimizer {
@@ -122,6 +124,7 @@ impl NesterovOptimizer {
             scratch_u: vec![Point::ORIGIN; n],
             scratch_v: vec![Point::ORIGIN; n],
             scratch_g: vec![Point::ORIGIN; n],
+            obs: Obs::disabled(),
         }
     }
 
@@ -151,7 +154,15 @@ impl NesterovOptimizer {
             scratch_u: vec![Point::ORIGIN; n],
             scratch_v: vec![Point::ORIGIN; n],
             scratch_g: vec![Point::ORIGIN; n],
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Sets the observability recorder: each [`NesterovOptimizer::step`]
+    /// records a `nesterov_step` span and its backtracks go into the
+    /// `backtracks_total` counter. Recording never changes the trajectory.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Snapshots the trajectory state (for rollback or resume).
@@ -212,6 +223,7 @@ impl NesterovOptimizer {
 
     /// One iteration of Algorithm 1 (+ Algorithm 2 inside).
     pub fn step(&mut self, cost: &mut impl Gradient) -> StepInfo {
+        let _span = self.obs.span("nesterov_step");
         let a_next = 0.5 * (1.0 + (4.0 * self.a * self.a + 1.0).sqrt());
         let coef = (self.a - 1.0) / a_next;
 
@@ -274,6 +286,7 @@ impl NesterovOptimizer {
         self.last_alpha = alpha;
         self.steps += 1;
         self.total_backtracks += backtracks;
+        self.obs.add("backtracks_total", backtracks as u64);
         StepInfo { alpha, backtracks }
     }
 }

@@ -1,12 +1,16 @@
 use crate::trace::{IterationRecord, RuntimeProfile, Stage, StageTiming};
 use crate::{
-    initial_placement, insert_fillers, run_global_placement, EplaceConfig, MipReport,
+    initial_placement_with_obs, insert_fillers, run_global_placement, EplaceConfig, MipReport, Obs,
     PlacementProblem,
 };
 use eplace_errors::EplaceError;
-use eplace_legalize::{detail_place, legalize, legalize_abacus, LegalizeReport};
-use eplace_mlg::{legalize_macros, MlgReport};
+use eplace_legalize::{
+    detail_place_with_obs, global_swap_with_obs, legalize_abacus_with_obs, legalize_with_obs,
+    LegalizeReport,
+};
+use eplace_mlg::{legalize_macros_with_obs, MlgReport};
 use eplace_netlist::{CellKind, Design};
+use eplace_obs::PhaseTime;
 use std::time::Instant;
 
 /// Everything a run of the flow produced — the raw material for every
@@ -48,6 +52,13 @@ pub struct PlacementReport {
     pub mgp_profile: RuntimeProfile,
     /// Per-iteration records across all stages (Figures 2/3/6).
     pub trace: Vec<IterationRecord>,
+    /// Per-phase span times from the observability layer (direct children
+    /// of the `flow` span). Always populated: a disabled
+    /// [`EplaceConfig::obs`] is upgraded to a metrics-only recorder for the
+    /// duration of the run.
+    pub phase_times: Vec<PhaseTime>,
+    /// Iterations recorded per global-placement stage, in flow order.
+    pub iterations_per_stage: Vec<(Stage, usize)>,
 }
 
 impl PlacementReport {
@@ -110,14 +121,22 @@ impl Placer {
     /// divergence-recovery budget (see [`crate::run_global_placement`]);
     /// the design then holds the best placement seen before the failure.
     pub fn run(&mut self) -> Result<PlacementReport, EplaceError> {
-        let cfg = self.config.clone();
+        let mut cfg = self.config.clone();
+        // Phase times must always land in the report, so a disabled
+        // recorder is upgraded to a metrics-only one (no journal sink) for
+        // the duration of the run. Recording never touches the numerics.
+        if !cfg.obs.is_enabled() {
+            cfg.obs = Obs::metrics();
+        }
+        let obs = cfg.obs.clone();
         let design = &mut self.design;
         let mut trace = Vec::new();
         let mut timings = Vec::new();
+        let flow_span = obs.span("flow");
 
         // --- mIP -----------------------------------------------------------
         let t = Instant::now();
-        let mip = initial_placement(design);
+        let mip = initial_placement_with_obs(design, &obs);
         timings.push(StageTiming {
             stage: Stage::Mip,
             seconds: t.elapsed().as_secs_f64(),
@@ -146,6 +165,7 @@ impl Placer {
         if has_movable_macros {
             // mLG: fix std cells, anneal macros, fix macros.
             let t = Instant::now();
+            let mlg_span = obs.span("mlg");
             let mut unfixed_std: Vec<usize> = Vec::new();
             for (i, c) in design.cells.iter_mut().enumerate() {
                 if c.kind == CellKind::StdCell && !c.fixed {
@@ -153,10 +173,11 @@ impl Placer {
                     unfixed_std.push(i);
                 }
             }
-            mlg_report = Some(legalize_macros(design, &cfg.mlg));
+            mlg_report = Some(legalize_macros_with_obs(design, &cfg.mlg, &obs));
             for &i in &unfixed_std {
                 design.cells[i].fixed = false;
             }
+            drop(mlg_span);
             timings.push(StageTiming {
                 stage: Stage::Mlg,
                 seconds: t.elapsed().as_secs_f64(),
@@ -209,12 +230,13 @@ impl Placer {
 
         // --- cDP -------------------------------------------------------------
         let t = Instant::now();
+        let cdp_span = obs.span("cdp");
         // Abacus is the quality choice; Tetris is the fallback when its
         // greedy segment selection runs out of room.
         let attempt = if cfg.use_abacus {
-            legalize_abacus(design).or_else(|_| legalize(design))
+            legalize_abacus_with_obs(design, &obs).or_else(|_| legalize_with_obs(design, &obs))
         } else {
-            legalize(design)
+            legalize_with_obs(design, &obs)
         };
         let (legal, legal_err) = match attempt {
             Ok(r) => (Some(r), None),
@@ -222,12 +244,13 @@ impl Placer {
         };
         let detail_gain = if legal.is_some() {
             // In-row refinement, then the cross-row global-swap pass.
-            detail_place(design, cfg.detail_passes)
-                + eplace_legalize::global_swap(design, cfg.detail_passes)
-                + detail_place(design, 1)
+            detail_place_with_obs(design, cfg.detail_passes, &obs)
+                + global_swap_with_obs(design, cfg.detail_passes, &obs)
+                + detail_place_with_obs(design, 1, &obs)
         } else {
             0.0
         };
+        drop(cdp_span);
         timings.push(StageTiming {
             stage: Stage::Cdp,
             seconds: t.elapsed().as_secs_f64(),
@@ -237,6 +260,16 @@ impl Placer {
         let final_hpwl = design.hpwl();
         let final_overflow = final_overflow_of(design, &cfg);
         let scaled_hpwl = final_hpwl * (1.0 + 0.01 * (final_overflow * 100.0));
+
+        // Close the flow span so the snapshot sees its total, then derive
+        // the per-phase breakdown and emit the end-of-run summary record.
+        drop(flow_span);
+        let summary = obs.summary();
+        let phase_times = summary.phases.clone();
+        if obs.journal_active() {
+            obs.journal(summary.to_record());
+        }
+        obs.flush();
 
         Ok(PlacementReport {
             final_hpwl,
@@ -254,9 +287,24 @@ impl Placer {
             detail_gain,
             stage_timings: timings,
             mgp_profile: mgp.profile,
+            iterations_per_stage: iterations_per_stage(&trace),
             trace,
+            phase_times,
         })
     }
+}
+
+/// Iteration counts per stage, in the order the stages first appear in the
+/// trace (recovery rollbacks already truncated their discarded records).
+fn iterations_per_stage(trace: &[IterationRecord]) -> Vec<(Stage, usize)> {
+    let mut out: Vec<(Stage, usize)> = Vec::new();
+    for r in trace {
+        match out.iter_mut().find(|(s, _)| *s == r.stage) {
+            Some((_, n)) => *n += 1,
+            None => out.push((r.stage, 1)),
+        }
+    }
+    out
 }
 
 /// Density overflow of the final (filler-free) layout, measured on the same

@@ -18,6 +18,21 @@ pub enum Stage {
     Cdp,
 }
 
+impl Stage {
+    /// Lowercase identifier used for span paths, journal records, and
+    /// per-stage counter names (`iters_mgp`, …).
+    pub fn key(self) -> &'static str {
+        match self {
+            Stage::Mip => "mip",
+            Stage::Mgp => "mgp",
+            Stage::Mlg => "mlg",
+            Stage::FillerOnly => "fillergp",
+            Stage::Cgp => "cgp",
+            Stage::Cdp => "cdp",
+        }
+    }
+}
+
 impl fmt::Display for Stage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -124,6 +139,51 @@ pub fn trace_endpoints(
             stage: "global placement".into(),
         }),
     }
+}
+
+/// Checks every record for non-finite metrics before a trace is persisted.
+///
+/// # Errors
+///
+/// [`eplace_errors::EplaceError::Validation`] naming the first offending
+/// record and field.
+pub fn validate_trace(records: &[IterationRecord]) -> Result<(), eplace_errors::EplaceError> {
+    use eplace_errors::{Severity, ValidationIssue};
+    for (i, r) in records.iter().enumerate() {
+        let fields = [
+            ("hpwl", r.hpwl),
+            ("overflow", r.overflow),
+            ("overlap", r.overlap),
+            ("lambda", r.lambda),
+            ("gamma", r.gamma),
+            ("alpha", r.alpha),
+        ];
+        if let Some((name, value)) = fields.iter().find(|(_, v)| !v.is_finite()) {
+            return Err(eplace_errors::EplaceError::Validation {
+                issues: vec![ValidationIssue {
+                    severity: Severity::Error,
+                    subject: format!("trace record {i} ({} iteration {})", r.stage, r.iteration),
+                    message: format!("non-finite {name}: {value}"),
+                    repaired: false,
+                }],
+            });
+        }
+    }
+    Ok(())
+}
+
+/// [`trace_to_csv`] preceded by [`validate_trace`] — the writer behind the
+/// golden-trace bless workflow, so a poisoned trajectory can never become
+/// the reference snapshot.
+///
+/// # Errors
+///
+/// As [`validate_trace`].
+pub fn trace_to_csv_checked(
+    records: &[IterationRecord],
+) -> Result<String, eplace_errors::EplaceError> {
+    validate_trace(records)?;
+    Ok(trace_to_csv(records))
 }
 
 /// Renders iteration records as CSV (`stage,iteration,hpwl,overflow,...`) —

@@ -1,0 +1,289 @@
+//! The run journal: JSONL [`Record`] construction and the pluggable
+//! [`JournalSink`] destinations.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// Where journal lines go. Implementations must be `Send` (the handle is
+/// shared across kernel worker threads). Sinks are best-effort telemetry:
+/// write failures must not fail the placement, so the trait is infallible
+/// and file sinks swallow I/O errors after reporting them once.
+pub trait JournalSink: Send {
+    /// Appends one line (no trailing newline in `line`).
+    fn write_line(&mut self, line: &str);
+
+    /// Flushes buffered lines; default no-op.
+    fn flush(&mut self) {}
+}
+
+/// Buffered JSONL file sink.
+pub struct FileSink {
+    writer: std::io::BufWriter<std::fs::File>,
+    /// First write error, reported to stderr once; later errors are dropped.
+    failed: bool,
+}
+
+impl FileSink {
+    /// Creates (truncating) the journal file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Forwards the [`std::io::Error`] from file creation.
+    pub fn create(path: &str) -> std::io::Result<Self> {
+        Ok(FileSink {
+            writer: std::io::BufWriter::new(std::fs::File::create(path)?),
+            failed: false,
+        })
+    }
+}
+
+impl JournalSink for FileSink {
+    fn write_line(&mut self, line: &str) {
+        if self.failed {
+            return;
+        }
+        if let Err(e) = writeln!(self.writer, "{line}") {
+            eprintln!("eplace-obs: journal write failed, disabling journal: {e}");
+            self.failed = true;
+        }
+    }
+
+    fn flush(&mut self) {
+        if !self.failed {
+            if let Err(e) = self.writer.flush() {
+                eprintln!("eplace-obs: journal flush failed: {e}");
+                self.failed = true;
+            }
+        }
+    }
+}
+
+impl Drop for FileSink {
+    fn drop(&mut self) {
+        JournalSink::flush(self);
+    }
+}
+
+/// In-memory sink; pair it with the [`MemoryJournal`] reader via
+/// [`MemorySink::new`] (or [`crate::Obs::memory`]).
+pub struct MemorySink {
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl MemorySink {
+    /// A fresh sink plus the reader handle observing its lines.
+    pub fn new() -> (Self, MemoryJournal) {
+        let lines = Arc::new(Mutex::new(Vec::new()));
+        (
+            MemorySink {
+                lines: Arc::clone(&lines),
+            },
+            MemoryJournal { lines },
+        )
+    }
+}
+
+impl JournalSink for MemorySink {
+    fn write_line(&mut self, line: &str) {
+        self.lines
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(line.to_string());
+    }
+}
+
+/// Reader half of [`MemorySink`].
+#[derive(Debug, Clone)]
+pub struct MemoryJournal {
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl MemoryJournal {
+    /// All lines written so far, in write order.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+}
+
+/// Builder for one JSONL record. Every record carries a leading
+/// `"type"` discriminator; fields append in call order. Non-finite floats
+/// serialize as `null` so the journal always parses as JSON — the *trace*
+/// writer is where non-finite values are a hard error.
+///
+/// # Examples
+///
+/// ```
+/// use eplace_obs::Record;
+/// let line = Record::new("iter")
+///     .str_field("stage", "mGP")
+///     .u64_field("iter", 3)
+///     .f64_field("hpwl", 1.5)
+///     .into_line();
+/// assert_eq!(line, r#"{"type":"iter","stage":"mGP","iter":3,"hpwl":1.5}"#);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Record {
+    buf: String,
+}
+
+fn push_json_str(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+/// Appends `v` as a JSON number, or `null` when non-finite. Rust's shortest
+/// round-trip `Display` for finite `f64` is always a valid JSON number.
+fn push_json_f64(buf: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(buf, "{v}");
+    } else {
+        buf.push_str("null");
+    }
+}
+
+impl Record {
+    /// Starts a record of the given `type`.
+    pub fn new(kind: &str) -> Self {
+        let mut buf = String::with_capacity(128);
+        buf.push_str("{\"type\":");
+        push_json_str(&mut buf, kind);
+        Record { buf }
+    }
+
+    fn key(&mut self, key: &str) {
+        self.buf.push(',');
+        push_json_str(&mut self.buf, key);
+        self.buf.push(':');
+    }
+
+    /// Appends a string field.
+    pub fn str_field(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        push_json_str(&mut self.buf, value);
+        self
+    }
+
+    /// Appends an integer field.
+    pub fn u64_field(mut self, key: &str, value: u64) -> Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Appends a float field (`null` when non-finite).
+    pub fn f64_field(mut self, key: &str, value: f64) -> Self {
+        self.key(key);
+        push_json_f64(&mut self.buf, value);
+        self
+    }
+
+    /// Appends a boolean field.
+    pub fn bool_field(mut self, key: &str, value: bool) -> Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Appends a field whose value is already-serialized JSON (arrays,
+    /// nested objects). The caller guarantees `raw` is valid JSON.
+    pub fn raw_field(mut self, key: &str, raw: &str) -> Self {
+        self.key(key);
+        self.buf.push_str(raw);
+        self
+    }
+
+    /// The finished JSONL line (no trailing newline).
+    pub fn into_line(self) -> String {
+        self.finish()
+    }
+
+    pub(crate) fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse_json;
+
+    #[test]
+    fn record_builds_valid_json() {
+        let line = Record::new("iter")
+            .str_field("stage", "mGP")
+            .u64_field("iter", 7)
+            .f64_field("hpwl", 12345.678)
+            .f64_field("bad", f64::NAN)
+            .bool_field("converged", true)
+            .raw_field("arr", "[1,2]")
+            .into_line();
+        let v = parse_json(&line).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("iter"));
+        assert_eq!(v.get("stage").unwrap().as_str(), Some("mGP"));
+        assert_eq!(v.get("iter").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("hpwl").unwrap().as_f64(), Some(12345.678));
+        assert!(v.get("bad").unwrap().is_null());
+        assert_eq!(v.get("converged").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("arr").unwrap().as_array().map(|a| a.len()), Some(2));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let line = Record::new("x")
+            .str_field("s", "a\"b\\c\nd\te\u{1}")
+            .into_line();
+        let v = parse_json(&line).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some("a\"b\\c\nd\te\u{1}"));
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for x in [0.1, 1e300, -1e-300, 123456789.123456, f64::MIN_POSITIVE] {
+            let line = Record::new("n").f64_field("v", x).into_line();
+            let v = parse_json(&line).unwrap();
+            assert_eq!(
+                v.get("v").unwrap().as_f64().map(f64::to_bits),
+                Some(x.to_bits())
+            );
+        }
+    }
+
+    #[test]
+    fn memory_sink_preserves_order() {
+        let (mut sink, reader) = MemorySink::new();
+        sink.write_line("a");
+        sink.write_line("b");
+        assert_eq!(reader.lines(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn file_sink_writes_lines() {
+        let path = std::env::temp_dir().join("eplace_obs_file_sink_test.jsonl");
+        let path = path.to_str().unwrap();
+        {
+            let mut sink = FileSink::create(path).unwrap();
+            sink.write_line("{\"type\":\"iter\"}");
+        } // drop flushes
+        let content = std::fs::read_to_string(path).unwrap();
+        assert_eq!(content, "{\"type\":\"iter\"}\n");
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,455 @@
+//! `eplace-obs` — the workspace's observability substrate.
+//!
+//! ePlace's convergence story (Nesterov with Lipschitz steplength
+//! prediction, the λ ramp, overflow-driven stopping) is only debuggable when
+//! every iteration's HPWL, overflow τ, steplength α, backtrack count and
+//! λ/γ are observable, and every perf effort needs to know *where* time
+//! goes per phase (spectral solve vs. gradient vs. deposit). This crate
+//! provides the three layers that make the flow observable without ever
+//! touching its numerics:
+//!
+//! 1. **Spans** — RAII phase timers with nesting
+//!    (flow → stage → iteration → kernel). [`Obs::span`] returns a guard;
+//!    dropping it records wall-clock and call count under a `/`-joined path
+//!    derived from the active span stack of the current thread.
+//! 2. **Metrics** — typed counters, gauges and fixed-bucket histograms with
+//!    a deterministic [`Obs::snapshot`] (all maps are ordered).
+//! 3. **Run journal** — JSONL records ([`Record`]) written to a pluggable
+//!    [`JournalSink`] (file, in-memory, or nothing), plus an end-of-run
+//!    [`Summary`] with a per-phase time breakdown.
+//!
+//! # Overhead policy
+//!
+//! The default handle is [`Obs::disabled`]: every call is a branch on an
+//! `Option` and returns immediately — no clock reads, no locks, no
+//! allocation — so instrumented hot paths cost ~nothing when observability
+//! is off and golden traces stay bit-identical (the recorder never feeds
+//! back into the computation, so even *enabled* runs change no numerics).
+//! [`Obs::metrics`] records spans/metrics but drops journal lines;
+//! [`Obs::to_file`] / [`Obs::memory`] add a JSONL sink.
+//!
+//! Instrumentation granularity is bounded below at "one kernel call": spans
+//! and metrics are recorded per deposit / solve / gradient evaluation /
+//! iteration, never per cell or per net.
+//!
+//! # Thread safety
+//!
+//! [`Obs`] is a cheap-to-clone handle (`Arc` inside) and is `Send + Sync`;
+//! recording locks a per-category mutex for the duration of one map update,
+//! following the same bounded-critical-section discipline as `eplace-exec`.
+//! The span *stack* is thread-local: spans opened on a worker thread nest
+//! under whatever is open on that worker, not under the spawner.
+//!
+//! # Examples
+//!
+//! ```
+//! use eplace_obs::Obs;
+//!
+//! let (obs, journal) = Obs::memory();
+//! {
+//!     let _flow = obs.span("flow");
+//!     let _stage = obs.span("mgp");
+//!     obs.add("iters_mgp", 1);
+//!     obs.journal(eplace_obs::Record::new("iter").u64_field("iter", 0));
+//! }
+//! let snap = obs.snapshot();
+//! assert_eq!(snap.counter("iters_mgp"), 1);
+//! assert_eq!(snap.span("flow/mgp").unwrap().calls, 1);
+//! assert_eq!(journal.lines().len(), 1);
+//! ```
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+mod journal;
+pub mod json;
+mod metrics;
+mod report;
+
+pub use journal::{FileSink, JournalSink, MemoryJournal, MemorySink, Record};
+pub use metrics::{Histogram, HistogramSnapshot, Snapshot, SpanStat};
+pub use report::{render_phase_table, PhaseTime, Summary};
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Fixed bucket edges (nanoseconds) for kernel-duration histograms such as
+/// `spectral_solve_ns`: 1 µs … 10 s in decades.
+pub const DURATION_NS_EDGES: &[f64] = &[1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10];
+
+/// Fixed bucket edges for the `backtracks_per_iter` histogram (the paper
+/// reports 1.037 average; anything past 10 is the config cap).
+pub const BACKTRACK_EDGES: &[f64] = &[0.0, 1.0, 2.0, 3.0, 5.0, 10.0];
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+struct Inner {
+    spans: Mutex<BTreeMap<String, (u64, u64)>>, // path -> (calls, total_ns)
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    gauges: Mutex<BTreeMap<&'static str, f64>>,
+    histograms: Mutex<BTreeMap<&'static str, Histogram>>,
+    /// `None` for metrics-only recorders: journal lines are dropped without
+    /// being built.
+    journal: Option<Mutex<Box<dyn JournalSink>>>,
+}
+
+/// Recovers from a poisoned lock: every critical section in this crate is a
+/// plain map update that cannot leave the map in a state later reads would
+/// misinterpret, so observations keep flowing after a panicking thread
+/// rather than poisoning the whole run's telemetry.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The observability handle. Cheap to clone (an `Arc` or nothing), safe to
+/// share across threads, and a no-op in its default disabled state — see
+/// the crate docs for the full overhead policy.
+#[derive(Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<Inner>>,
+}
+
+impl fmt::Debug for Obs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            None => f.write_str("Obs(disabled)"),
+            Some(i) if i.journal.is_some() => f.write_str("Obs(journal)"),
+            Some(_) => f.write_str("Obs(metrics)"),
+        }
+    }
+}
+
+impl PartialEq for Obs {
+    /// Two handles are equal when they record into the same registry (or
+    /// are both disabled) — the config-equality semantics `EplaceConfig`
+    /// needs.
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.inner, &other.inner) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl Obs {
+    /// The no-op recorder (the default): every API call returns immediately.
+    pub fn disabled() -> Self {
+        Obs { inner: None }
+    }
+
+    /// Records spans and metrics; journal records are dropped unbuilt.
+    pub fn metrics() -> Self {
+        Obs::with_journal(None)
+    }
+
+    /// Records spans, metrics, and journal lines into `sink`.
+    pub fn with_sink(sink: Box<dyn JournalSink>) -> Self {
+        Obs::with_journal(Some(sink))
+    }
+
+    /// Journals to a freshly created/truncated JSONL file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Forwards the [`std::io::Error`] when the file cannot be created.
+    pub fn to_file(path: &str) -> std::io::Result<Self> {
+        Ok(Obs::with_sink(Box::new(FileSink::create(path)?)))
+    }
+
+    /// Journals into memory; the returned [`MemoryJournal`] reads the lines
+    /// back (tests, in-process consumers).
+    pub fn memory() -> (Self, MemoryJournal) {
+        let (sink, reader) = MemorySink::new();
+        (Obs::with_sink(Box::new(sink)), reader)
+    }
+
+    fn with_journal(journal: Option<Box<dyn JournalSink>>) -> Self {
+        Obs {
+            inner: Some(Arc::new(Inner {
+                spans: Mutex::new(BTreeMap::new()),
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+                journal: journal.map(Mutex::new),
+            })),
+        }
+    }
+
+    /// `false` for the disabled handle.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// `true` when journal lines reach a real sink — callers use this to
+    /// skip building [`Record`]s in metrics-only runs.
+    #[inline]
+    pub fn journal_active(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|inner| inner.journal.is_some())
+    }
+
+    /// Opens a timing span. Drop the guard to record; spans opened while
+    /// the guard lives (on the same thread) nest under it, giving
+    /// `/`-joined paths like `flow/mgp/iter/density_solve`.
+    #[must_use = "a span records on Drop; binding it to _ ends it immediately"]
+    #[inline]
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        match &self.inner {
+            None => SpanGuard { active: None },
+            Some(inner) => {
+                let path = SPAN_STACK.with(|stack| {
+                    let mut stack = stack.borrow_mut();
+                    stack.push(name);
+                    stack.join("/")
+                });
+                SpanGuard {
+                    active: Some((Arc::clone(inner), path, Instant::now())),
+                }
+            }
+        }
+    }
+
+    /// Adds `n` to the counter `name`.
+    #[inline]
+    pub fn add(&self, name: &'static str, n: u64) {
+        if let Some(inner) = &self.inner {
+            *lock(&inner.counters).entry(name).or_insert(0) += n;
+        }
+    }
+
+    /// Sets the gauge `name` to `value` (last write wins).
+    #[inline]
+    pub fn set_gauge(&self, name: &'static str, value: f64) {
+        if let Some(inner) = &self.inner {
+            lock(&inner.gauges).insert(name, value);
+        }
+    }
+
+    /// Records `value` into the fixed-bucket histogram `name`, creating it
+    /// with `edges` on first use (later calls must pass the same edges —
+    /// the schema is static by design).
+    #[inline]
+    pub fn observe(&self, name: &'static str, edges: &'static [f64], value: f64) {
+        if let Some(inner) = &self.inner {
+            lock(&inner.histograms)
+                .entry(name)
+                .or_insert_with(|| Histogram::new(edges))
+                .observe(value);
+        }
+    }
+
+    /// Writes one journal record (a JSONL line). A no-op unless
+    /// [`Obs::journal_active`]; guard record construction on that to keep
+    /// metrics-only runs allocation-free on this path.
+    pub fn journal(&self, record: Record) {
+        if let Some(inner) = &self.inner {
+            if let Some(journal) = &inner.journal {
+                lock(journal).write_line(&record.finish());
+            }
+        }
+    }
+
+    /// Flushes the journal sink (file sinks buffer).
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            if let Some(journal) = &inner.journal {
+                lock(journal).flush();
+            }
+        }
+    }
+
+    /// A deterministic point-in-time copy of everything recorded so far
+    /// (all collections ordered by name/path).
+    pub fn snapshot(&self) -> Snapshot {
+        match &self.inner {
+            None => Snapshot::default(),
+            Some(inner) => Snapshot {
+                spans: lock(&inner.spans)
+                    .iter()
+                    .map(|(path, &(calls, total_ns))| SpanStat {
+                        path: path.clone(),
+                        calls,
+                        total_ns,
+                    })
+                    .collect(),
+                counters: lock(&inner.counters)
+                    .iter()
+                    .map(|(&k, &v)| (k.to_string(), v))
+                    .collect(),
+                gauges: lock(&inner.gauges)
+                    .iter()
+                    .map(|(&k, &v)| (k.to_string(), v))
+                    .collect(),
+                histograms: lock(&inner.histograms)
+                    .iter()
+                    .map(|(&k, h)| h.snapshot(k))
+                    .collect(),
+            },
+        }
+    }
+
+    /// The end-of-run summary (per-phase time breakdown + totals), derived
+    /// from the current [`Obs::snapshot`].
+    pub fn summary(&self) -> Summary {
+        Summary::from_snapshot(&self.snapshot())
+    }
+}
+
+/// RAII guard returned by [`Obs::span`]; records elapsed wall-clock and one
+/// call under the span's path when dropped.
+pub struct SpanGuard {
+    active: Option<(Arc<Inner>, String, Instant)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((inner, path, start)) = self.active.take() {
+            let elapsed_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            SPAN_STACK.with(|stack| {
+                stack.borrow_mut().pop();
+            });
+            let mut spans = lock(&inner.spans);
+            let entry = spans.entry(path).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 = entry.1.saturating_add(elapsed_ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_free_and_silent() {
+        let obs = Obs::disabled();
+        assert!(!obs.is_enabled());
+        assert!(!obs.journal_active());
+        {
+            let _s = obs.span("flow");
+            obs.add("c", 3);
+            obs.set_gauge("g", 1.0);
+            obs.observe("h", BACKTRACK_EDGES, 1.0);
+            obs.journal(Record::new("iter"));
+        }
+        let snap = obs.snapshot();
+        assert!(snap.spans.is_empty() && snap.counters.is_empty());
+        assert_eq!(snap, Snapshot::default());
+    }
+
+    #[test]
+    fn spans_nest_into_paths() {
+        let obs = Obs::metrics();
+        {
+            let _a = obs.span("flow");
+            {
+                let _b = obs.span("mgp");
+                let _c = obs.span("iter");
+            }
+            {
+                let _b = obs.span("cgp");
+            }
+        }
+        let snap = obs.snapshot();
+        let paths: Vec<&str> = snap.spans.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(paths, ["flow", "flow/cgp", "flow/mgp", "flow/mgp/iter"]);
+        assert_eq!(snap.span("flow").unwrap().calls, 1);
+        // Parent time covers child time.
+        assert!(snap.span("flow").unwrap().total_ns >= snap.span("flow/mgp").unwrap().total_ns);
+    }
+
+    #[test]
+    fn span_calls_accumulate() {
+        let obs = Obs::metrics();
+        for _ in 0..5 {
+            let _s = obs.span("iter");
+        }
+        assert_eq!(obs.snapshot().span("iter").unwrap().calls, 5);
+    }
+
+    #[test]
+    fn counters_and_gauges_record() {
+        let obs = Obs::metrics();
+        obs.add("backtracks_total", 2);
+        obs.add("backtracks_total", 3);
+        obs.set_gauge("hpwl", 1.0);
+        obs.set_gauge("hpwl", 2.5);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("backtracks_total"), 5);
+        assert_eq!(snap.counter("missing"), 0);
+        assert_eq!(snap.gauge("hpwl"), Some(2.5));
+    }
+
+    #[test]
+    fn clones_share_the_registry() {
+        let obs = Obs::metrics();
+        let clone = obs.clone();
+        clone.add("c", 1);
+        obs.add("c", 1);
+        assert_eq!(obs.snapshot().counter("c"), 2);
+        assert_eq!(obs, clone);
+        assert_ne!(obs, Obs::metrics());
+        assert_eq!(Obs::disabled(), Obs::disabled());
+        assert_ne!(obs, Obs::disabled());
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_under_threads() {
+        // Counter values, span call counts, and histogram bucket counts
+        // must not depend on scheduling — only span *durations* may vary.
+        let run = || {
+            let obs = Obs::metrics();
+            std::thread::scope(|scope| {
+                for t in 0..4 {
+                    let obs = obs.clone();
+                    scope.spawn(move || {
+                        for i in 0..100 {
+                            let _s = obs.span("worker");
+                            obs.add("events", 1);
+                            obs.observe("h", BACKTRACK_EDGES, (i % 7) as f64);
+                            let _ = t;
+                        }
+                    });
+                }
+            });
+            let snap = obs.snapshot();
+            let h = &snap.histograms[0];
+            (
+                snap.counter("events"),
+                snap.span("worker").unwrap().calls,
+                h.counts.clone(),
+                h.count,
+            )
+        };
+        assert_eq!(run(), run());
+        assert_eq!(run().0, 400);
+    }
+
+    #[test]
+    fn journal_activity_levels() {
+        assert!(!Obs::metrics().journal_active());
+        assert!(Obs::metrics().is_enabled());
+        let (obs, journal) = Obs::memory();
+        assert!(obs.journal_active());
+        obs.journal(Record::new("iter").u64_field("iter", 1));
+        obs.journal(Record::new("summary"));
+        obs.flush();
+        let lines = journal.lines();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"type\":\"iter\""));
+    }
+
+    #[test]
+    fn debug_formats_name_the_mode() {
+        assert_eq!(format!("{:?}", Obs::disabled()), "Obs(disabled)");
+        assert_eq!(format!("{:?}", Obs::metrics()), "Obs(metrics)");
+        assert_eq!(format!("{:?}", Obs::memory().0), "Obs(journal)");
+    }
+}

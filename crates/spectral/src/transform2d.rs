@@ -1,6 +1,7 @@
 use crate::dct::DctScratch;
 use crate::DctPlan;
 use eplace_exec::{for_each_unit, ExecConfig};
+use eplace_obs::Obs;
 
 /// Which 1-D kernel a pass applies along an axis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +56,7 @@ pub struct Transform2d {
     scratch_x: DctScratch,
     scratch_y: DctScratch,
     exec: ExecConfig,
+    obs: Obs,
 }
 
 impl Transform2d {
@@ -75,6 +77,7 @@ impl Transform2d {
             scratch_x: DctScratch::new(nx),
             scratch_y: DctScratch::new(ny),
             exec: ExecConfig::serial(),
+            obs: Obs::disabled(),
         }
     }
 
@@ -86,6 +89,19 @@ impl Transform2d {
     /// Builder form of [`Transform2d::set_exec`].
     pub fn with_exec(mut self, exec: ExecConfig) -> Self {
         self.exec = exec;
+        self
+    }
+
+    /// Sets the observability recorder: each transform call records one
+    /// `spectral_transform` span and bumps the `spectral_transforms`
+    /// counter. Recording never touches the transform's arithmetic.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// Builder form of [`Transform2d::set_obs`].
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -151,6 +167,8 @@ impl Transform2d {
             self.nx,
             self.ny
         );
+        let _span = self.obs.span("spectral_transform");
+        self.obs.add("spectral_transforms", 1);
         if self.exec.is_serial() {
             self.apply_serial(data, kernel_x, kernel_y);
         } else {

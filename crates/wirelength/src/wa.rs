@@ -2,6 +2,7 @@ use crate::SmoothWirelength;
 use eplace_exec::{deterministic_chunks, map_chunks, ExecConfig};
 use eplace_geometry::Point;
 use eplace_netlist::{Design, Net};
+use eplace_obs::Obs;
 
 /// Nets below this count are not worth fanning out to worker threads.
 const MIN_PARALLEL_NETS: usize = 64;
@@ -147,6 +148,7 @@ pub struct WaModel {
     scratch: NetScratch,
     max_degree: usize,
     exec: ExecConfig,
+    obs: Obs,
 }
 
 impl WaModel {
@@ -158,6 +160,7 @@ impl WaModel {
             scratch: NetScratch::with_degree(max_degree),
             max_degree,
             exec: ExecConfig::serial(),
+            obs: Obs::disabled(),
         }
     }
 
@@ -169,6 +172,19 @@ impl WaModel {
     /// Builder form of [`WaModel::set_exec`].
     pub fn with_exec(mut self, exec: ExecConfig) -> Self {
         self.exec = exec;
+        self
+    }
+
+    /// Sets the observability recorder: gradients record a `wa_gradient`
+    /// span and the `wa_gradients` counter, plain evaluations a `wa_eval`
+    /// span. Recording never affects the computed values.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// Builder form of [`WaModel::set_obs`].
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -252,6 +268,7 @@ impl WaModel {
 
 impl SmoothWirelength for WaModel {
     fn evaluate(&mut self, design: &Design, pos: &[Point], gamma: f64) -> f64 {
+        let _span = self.obs.span("wa_eval");
         self.run(design, pos, gamma, None)
     }
 
@@ -260,6 +277,8 @@ impl SmoothWirelength for WaModel {
             grad.len() >= design.cells.len(),
             "gradient buffer too small"
         );
+        let _span = self.obs.span("wa_gradient");
+        self.obs.add("wa_gradients", 1);
         self.run(design, pos, gamma, Some(grad))
     }
 }

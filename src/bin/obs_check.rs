@@ -1,0 +1,168 @@
+//! `obs_check` — validates an ePlace run journal (JSONL).
+//!
+//! Checks that every line parses as JSON, that `iter` records carry the
+//! full finite metric set, that `recovery` records name a stage and reason,
+//! and that the journal ends with exactly one `summary` record whose phase
+//! seconds are consistent with its total. CI runs this over the journal
+//! produced by a `--journal` run.
+//!
+//! ```sh
+//! eplace-repro --fast --demo 300 --journal run.jsonl
+//! obs_check run.jsonl [--expect-iters N]
+//! ```
+
+use eplace_repro::obs::json::{parse_json, JsonValue};
+use std::process::ExitCode;
+
+struct Stats {
+    iters: u64,
+    recoveries: u64,
+    total_seconds: f64,
+    phases: usize,
+}
+
+fn main() -> ExitCode {
+    let mut path: Option<String> = None;
+    let mut expect_iters: Option<u64> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--expect-iters" => {
+                let v = match it.next() {
+                    Some(v) => v,
+                    None => return usage("--expect-iters needs a value"),
+                };
+                expect_iters = match v.parse() {
+                    Ok(n) => Some(n),
+                    Err(e) => return usage(&format!("bad --expect-iters: {e}")),
+                };
+            }
+            "--help" | "-h" => {
+                println!("usage: obs_check <journal.jsonl> [--expect-iters N]");
+                return ExitCode::SUCCESS;
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(flag),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let Some(path) = path else {
+        return usage("missing journal path");
+    };
+    match check(&path, expect_iters) {
+        Ok(stats) => {
+            println!(
+                "{path}: OK — {} iter records, {} recoveries, {} phases, {:.3}s total",
+                stats.iters, stats.recoveries, stats.phases, stats.total_seconds
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("obs_check: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("obs_check: {msg}\nusage: obs_check <journal.jsonl> [--expect-iters N]");
+    ExitCode::FAILURE
+}
+
+fn check(path: &str, expect_iters: Option<u64>) -> Result<Stats, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let mut stats = Stats {
+        iters: 0,
+        recoveries: 0,
+        total_seconds: 0.0,
+        phases: 0,
+    };
+    let mut summaries = 0u64;
+    let mut last_kind = String::new();
+    for (idx, line) in text.lines().enumerate() {
+        let no = idx + 1;
+        let value = parse_json(line).map_err(|e| format!("line {no}: {e}"))?;
+        let kind = str_field(&value, "type", no)?;
+        match kind {
+            "iter" => {
+                str_field(&value, "stage", no)?;
+                u64_field(&value, "iter", no)?;
+                u64_field(&value, "backtracks", no)?;
+                for key in ["hpwl", "overflow", "alpha", "lambda", "gamma"] {
+                    finite_field(&value, key, no)?;
+                }
+                stats.iters += 1;
+            }
+            "recovery" => {
+                str_field(&value, "stage", no)?;
+                str_field(&value, "reason", no)?;
+                u64_field(&value, "iter", no)?;
+                stats.recoveries += 1;
+            }
+            "summary" => {
+                summaries += 1;
+                stats.total_seconds = finite_field(&value, "total_seconds", no)?;
+                let phases = value
+                    .get("phases")
+                    .and_then(JsonValue::as_array)
+                    .ok_or_else(|| format!("line {no}: summary lacks a `phases` array"))?;
+                stats.phases = phases.len();
+                let mut covered = 0.0;
+                for phase in phases {
+                    str_field(phase, "name", no)?;
+                    covered += finite_field(phase, "seconds", no)?;
+                }
+                // Children never out-time their enclosing root span (small
+                // tolerance for clock granularity).
+                if covered > stats.total_seconds * 1.001 + 1e-6 {
+                    return Err(format!(
+                        "line {no}: phase seconds {covered} exceed total {}",
+                        stats.total_seconds
+                    ));
+                }
+            }
+            other => return Err(format!("line {no}: unknown record type `{other}`")),
+        }
+        last_kind = kind.to_string();
+    }
+    if summaries != 1 {
+        return Err(format!(
+            "expected exactly 1 summary record, found {summaries}"
+        ));
+    }
+    if last_kind != "summary" {
+        return Err(format!(
+            "journal must end with the summary, ends with `{last_kind}`"
+        ));
+    }
+    if let Some(expected) = expect_iters {
+        if stats.iters != expected {
+            return Err(format!(
+                "expected {expected} iter records, found {}",
+                stats.iters
+            ));
+        }
+    }
+    Ok(stats)
+}
+
+fn str_field<'a>(value: &'a JsonValue, key: &str, no: usize) -> Result<&'a str, String> {
+    value
+        .get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("line {no}: missing string field `{key}`"))
+}
+
+fn u64_field(value: &JsonValue, key: &str, no: usize) -> Result<u64, String> {
+    value
+        .get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("line {no}: missing integer field `{key}`"))
+}
+
+fn finite_field(value: &JsonValue, key: &str, no: usize) -> Result<f64, String> {
+    value
+        .get(key)
+        .and_then(JsonValue::as_f64)
+        .filter(|v| v.is_finite())
+        .ok_or_else(|| format!("line {no}: missing finite number field `{key}`"))
+}

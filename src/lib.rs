@@ -64,3 +64,7 @@ pub use eplace_baselines as baselines;
 /// Structured error taxonomy ([`EplaceError`](eplace_errors::EplaceError),
 /// divergence reports, validation issues).
 pub use eplace_errors as errors;
+
+/// Observability: spans, metrics, and the JSONL run journal
+/// ([`Obs`](eplace_obs::Obs)).
+pub use eplace_obs as obs;

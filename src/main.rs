@@ -25,6 +25,8 @@ struct Args {
     fast: bool,
     trace_csv: Option<String>,
     threads: usize,
+    journal: Option<String>,
+    metrics_summary: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -36,6 +38,8 @@ fn parse_args() -> Result<Args, String> {
         fast: false,
         trace_csv: None,
         threads: 1,
+        journal: None,
+        metrics_summary: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -60,6 +64,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--fast" => args.fast = true,
             "--trace-csv" => args.trace_csv = Some(value("--trace-csv")?),
+            "--journal" => args.journal = Some(value("--journal")?),
+            "--metrics-summary" => args.metrics_summary = true,
             "--threads" => {
                 args.threads = value("--threads")?
                     .parse()
@@ -68,10 +74,15 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: eplace-repro [--aux FILE.aux] [--out FILE.pl] [--rho RHO_T] \
-                     [--demo N_CELLS] [--fast] [--trace-csv FILE] [--threads N]\n\
+                     [--demo N_CELLS] [--fast] [--trace-csv FILE] [--threads N] \
+                     [--journal FILE.jsonl] [--metrics-summary]\n\
                      \n\
                      --threads 1 (default) is the exact serial placer; N >= 2 \
-                     parallelizes the kernels deterministically; 0 auto-detects."
+                     parallelizes the kernels deterministically; 0 auto-detects.\n\
+                     --journal writes one JSONL record per optimizer iteration plus \
+                     an end-of-run summary (validate with the obs_check binary);\n\
+                     --metrics-summary prints the per-phase runtime table after the \
+                     run. Neither affects the placement result."
                 );
                 std::process::exit(0);
             }
@@ -123,6 +134,15 @@ fn main() -> ExitCode {
         EplaceConfig::default()
     };
     config.threads = args.threads;
+    if let Some(path) = &args.journal {
+        config.obs = match eplace_repro::obs::Obs::to_file(path) {
+            Ok(obs) => obs,
+            Err(e) => {
+                eprintln!("error: cannot open journal {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    }
     let mut placer = Placer::new(design, config);
     let report = match placer.run() {
         Ok(report) => report,
@@ -157,9 +177,21 @@ fn main() -> ExitCode {
             println!("legality          : VIOLATED ({e})");
         }
     }
+    if args.metrics_summary {
+        println!(
+            "{}",
+            eplace_repro::obs::render_phase_table(&report.phase_times, report.total_seconds())
+        );
+    }
 
     if let Some(path) = &args.trace_csv {
-        let csv = eplace_repro::core::trace_to_csv(&report.trace);
+        let csv = match eplace_repro::core::trace_to_csv_checked(&report.trace) {
+            Ok(csv) => csv,
+            Err(e) => {
+                eprintln!("error: refusing to write trace: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         if let Err(e) = std::fs::write(path, csv) {
             eprintln!("error writing trace: {e}");
             return ExitCode::FAILURE;

@@ -15,7 +15,7 @@
 //! note in the change description explaining why the trajectory moved.
 
 use eplace_repro::benchgen::BenchmarkConfig;
-use eplace_repro::core::{trace_to_csv, EplaceConfig, Placer};
+use eplace_repro::core::{trace_to_csv_checked, EplaceConfig, Placer};
 
 const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/trace_small.csv");
 
@@ -27,7 +27,9 @@ fn golden_trace_csv() -> String {
         .generate();
     let mut placer = Placer::new(design, EplaceConfig::fast());
     let report = placer.run().unwrap();
-    trace_to_csv(&report.trace)
+    // The checked writer refuses non-finite metrics, so a poisoned run can
+    // never be blessed into the snapshot.
+    trace_to_csv_checked(&report.trace).expect("golden scenario must stay finite")
 }
 
 #[test]

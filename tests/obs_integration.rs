@@ -1,0 +1,165 @@
+//! End-to-end checks of the observability layer against the full flow:
+//! the journal must mirror the iteration trace exactly, recording must
+//! never perturb the numerics, and the phase breakdown must account for
+//! the run's wall-clock.
+
+use eplace_repro::benchgen::BenchmarkConfig;
+use eplace_repro::core::{EplaceConfig, Placer, Stage};
+use eplace_repro::netlist::Design;
+use eplace_repro::obs::json::{parse_json, JsonValue};
+use eplace_repro::obs::Obs;
+
+fn small_design(seed: u64) -> Design {
+    BenchmarkConfig::ispd05_like("obs", seed)
+        .scale(200)
+        .generate()
+}
+
+fn run_with(design: Design, obs: Obs) -> eplace_repro::core::PlacementReport {
+    let cfg = EplaceConfig {
+        obs,
+        ..EplaceConfig::fast()
+    };
+    Placer::new(design, cfg).run().unwrap()
+}
+
+#[test]
+fn journal_iter_lines_match_reported_iterations() {
+    let (obs, journal) = Obs::memory();
+    let report = run_with(small_design(81), obs);
+    let lines = journal.lines();
+    let records: Vec<JsonValue> = lines
+        .iter()
+        .map(|l| parse_json(l).expect("journal line must parse as JSON"))
+        .collect();
+    let kind = |v: &JsonValue| {
+        v.get("type")
+            .and_then(JsonValue::as_str)
+            .unwrap()
+            .to_string()
+    };
+    let iters: Vec<&JsonValue> = records.iter().filter(|v| kind(v) == "iter").collect();
+    assert_eq!(
+        iters.len(),
+        report.trace.len(),
+        "one journal iter record per trace record"
+    );
+    // The journal mirrors the trace value for value: JSON floats use the
+    // shortest round-trip form, so parsing back must be bit-exact.
+    for (line, rec) in iters.iter().zip(&report.trace) {
+        let f = |key: &str| line.get(key).and_then(JsonValue::as_f64).unwrap();
+        assert_eq!(
+            line.get("stage").and_then(JsonValue::as_str),
+            Some(rec.stage.key())
+        );
+        assert_eq!(
+            line.get("iter").and_then(JsonValue::as_u64),
+            Some(rec.iteration as u64)
+        );
+        assert_eq!(f("hpwl").to_bits(), rec.hpwl.to_bits());
+        assert_eq!(f("overflow").to_bits(), rec.overflow.to_bits());
+        assert_eq!(f("alpha").to_bits(), rec.alpha.to_bits());
+        assert_eq!(f("lambda").to_bits(), rec.lambda.to_bits());
+        assert_eq!(f("gamma").to_bits(), rec.gamma.to_bits());
+        assert_eq!(
+            line.get("backtracks").and_then(JsonValue::as_u64),
+            Some(rec.backtracks as u64)
+        );
+    }
+    // Exactly one summary, and it is the final line.
+    let summaries: Vec<usize> = records
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| kind(v) == "summary")
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(summaries, vec![records.len() - 1]);
+}
+
+#[test]
+fn journaling_never_perturbs_the_trajectory() {
+    let baseline = run_with(small_design(82), Obs::disabled());
+    let (obs, _journal) = Obs::memory();
+    let journaled = run_with(small_design(82), obs);
+    let key = |r: &eplace_repro::core::PlacementReport| {
+        r.trace
+            .iter()
+            .map(|t| {
+                (
+                    t.iteration,
+                    t.hpwl.to_bits(),
+                    t.overflow.to_bits(),
+                    t.alpha.to_bits(),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(key(&baseline), key(&journaled));
+    assert_eq!(
+        baseline.final_hpwl.to_bits(),
+        journaled.final_hpwl.to_bits()
+    );
+}
+
+#[test]
+fn phase_times_account_for_the_wall_clock() {
+    let report = run_with(small_design(83), Obs::disabled());
+    assert!(
+        !report.phase_times.is_empty(),
+        "phase times populate even with obs disabled"
+    );
+    let covered: f64 = report.phase_times.iter().map(|p| p.seconds).sum();
+    let total = report.total_seconds();
+    assert!(
+        covered <= total * 1.05,
+        "phases ({covered}s) cannot out-time the flow ({total}s)"
+    );
+    assert!(
+        covered >= total * 0.95,
+        "phases ({covered}s) must cover >= 95% of the flow ({total}s)"
+    );
+}
+
+#[test]
+fn iterations_per_stage_sums_to_trace() {
+    let report = run_with(small_design(84), Obs::disabled());
+    let total: usize = report.iterations_per_stage.iter().map(|(_, n)| n).sum();
+    assert_eq!(total, report.trace.len());
+    for &(stage, n) in &report.iterations_per_stage {
+        assert_eq!(n, report.trace.iter().filter(|r| r.stage == stage).count());
+    }
+}
+
+#[test]
+fn mixed_flow_reports_every_stage() {
+    let design = BenchmarkConfig::mms_like("obsm", 85, 1.0, 4)
+        .scale(200)
+        .generate();
+    let (obs, journal) = Obs::memory();
+    let report = run_with(design, obs.clone());
+    let stages: Vec<Stage> = report
+        .iterations_per_stage
+        .iter()
+        .map(|&(s, _)| s)
+        .collect();
+    assert_eq!(stages, vec![Stage::Mgp, Stage::FillerOnly, Stage::Cgp]);
+    let phases: Vec<&str> = report.phase_times.iter().map(|p| p.name.as_str()).collect();
+    for expect in ["mip", "mgp", "mlg", "fillergp", "cgp", "cdp"] {
+        assert!(
+            phases.contains(&expect),
+            "missing phase {expect} in {phases:?}"
+        );
+    }
+    // Per-stage counters agree with the report.
+    let snap = obs.snapshot();
+    for (stage, n) in &report.iterations_per_stage {
+        let counter = match stage {
+            Stage::Mgp => "iters_mgp",
+            Stage::FillerOnly => "iters_fillergp",
+            Stage::Cgp => "iters_cgp",
+            _ => continue,
+        };
+        assert_eq!(snap.counter(counter), *n as u64, "{counter}");
+    }
+    assert!(!journal.lines().is_empty());
+}
