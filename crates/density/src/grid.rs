@@ -1,5 +1,5 @@
 use crate::SMOOTH_FACTOR;
-use eplace_exec::{deterministic_chunks, map_chunks, ExecConfig};
+use eplace_exec::{deterministic_chunks, for_each_chunk_pooled, ExecConfig};
 use eplace_geometry::{overlap_1d, Point, Rect, Size};
 use eplace_obs::{Obs, DURATION_NS_EDGES};
 use eplace_spectral::Transform2d;
@@ -66,6 +66,33 @@ impl DensityObject {
     }
 }
 
+/// Reusable per-chunk accumulators for the parallel deposit sweep. Kept in a
+/// pool on the grid so steady-state deposits allocate nothing; each chunk
+/// resets its scratch before accumulating, which reproduces the historical
+/// fresh-`vec![0.0]` contents bit for bit.
+#[derive(Debug, Clone)]
+struct DepositScratch {
+    charge: Vec<f64>,
+    usage: Vec<f64>,
+    area: f64,
+}
+
+impl DepositScratch {
+    fn new(bins: usize) -> Self {
+        DepositScratch {
+            charge: vec![0.0; bins],
+            usage: vec![0.0; bins],
+            area: 0.0,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.charge.iter_mut().for_each(|v| *v = 0.0);
+        self.usage.iter_mut().for_each(|v| *v = 0.0);
+        self.area = 0.0;
+    }
+}
+
 /// The electrostatic bin grid: charge accumulation, spectral Poisson solve,
 /// and per-object energy/gradient sampling.
 ///
@@ -107,6 +134,19 @@ pub struct DensityGrid {
     transform_psi: Transform2d,
     transform_fx: Transform2d,
     coeff: Vec<f64>,
+    /// Laplacian eigenfrequencies in bin-index space, `w_u = πu/nx`, and
+    /// their squares — hoisted out of [`DensityGrid::solve`] so the
+    /// coefficient-prep loop does table lookups instead of per-bin
+    /// trigonometry-free but division-heavy recomputation. The tables hold
+    /// the exact expressions the loop used to evaluate inline, so the solve
+    /// stays bit-identical.
+    wx_tab: Vec<f64>,
+    wy_tab: Vec<f64>,
+    wx2_tab: Vec<f64>,
+    wy2_tab: Vec<f64>,
+    /// Scratch pool for the chunked parallel deposit (empty until the first
+    /// parallel deposit; at most `DEPOSIT_MAX_CHUNKS` entries).
+    deposit_pool: Vec<DepositScratch>,
     /// Σ of overflow-counting movable area at the last deposit.
     movable_area: f64,
     solved: bool,
@@ -131,6 +171,10 @@ impl DensityGrid {
             "target density must be in (0, 1], got {target_density}"
         );
         let bins = nx * ny;
+        let wx_tab: Vec<f64> = (0..nx).map(|u| PI * u as f64 / nx as f64).collect();
+        let wy_tab: Vec<f64> = (0..ny).map(|v| PI * v as f64 / ny as f64).collect();
+        let wx2_tab: Vec<f64> = wx_tab.iter().map(|w| w * w).collect();
+        let wy2_tab: Vec<f64> = wy_tab.iter().map(|w| w * w).collect();
         DensityGrid {
             region,
             nx,
@@ -149,6 +193,11 @@ impl DensityGrid {
             transform_psi: Transform2d::new(nx, ny),
             transform_fx: Transform2d::new(nx, ny),
             coeff: vec![0.0; bins],
+            wx_tab,
+            wy_tab,
+            wx2_tab,
+            wy2_tab,
+            deposit_pool: Vec::new(),
             movable_area: 0.0,
             solved: false,
             exec: ExecConfig::serial(),
@@ -318,36 +367,46 @@ impl DensityGrid {
     /// grid buffers (never into shared bins — no atomic floats anywhere);
     /// the partial grids are then merged *in chunk order*, so the result is
     /// one fixed floating-point association for a given object count, no
-    /// matter how many threads executed the chunks.
+    /// matter how many threads executed the chunks. Chunk accumulators come
+    /// from a pool owned by the grid: after warm-up, deposits allocate
+    /// nothing.
     fn deposit_parallel(&mut self, objects: &[DensityObject], pos: &[Point]) {
         let bins = self.nx * self.ny;
         let chunks = deterministic_chunks(objects.len(), DEPOSIT_MIN_CHUNK, DEPOSIT_MAX_CHUNKS);
-        let this: &DensityGrid = self;
-        let partials = map_chunks(&this.exec, objects.len(), chunks, |_, range| {
-            let mut charge = vec![0.0; bins];
-            let mut usage = vec![0.0; bins];
-            let mut area = 0.0;
-            for (obj, &p) in objects[range.clone()].iter().zip(&pos[range]) {
-                this.deposit_one_into(obj, p, &mut charge);
-                if obj.counts_in_overflow {
-                    area += obj.charge();
-                    this.deposit_usage_into(obj, p, &mut usage);
-                }
-            }
-            (charge, usage, area)
-        });
+        let mut pool = std::mem::take(&mut self.deposit_pool);
+        {
+            let this: &DensityGrid = self;
+            for_each_chunk_pooled(
+                &this.exec,
+                objects.len(),
+                chunks,
+                &mut pool,
+                || DepositScratch::new(bins),
+                |_, range, scratch| {
+                    scratch.reset();
+                    for (obj, &p) in objects[range.clone()].iter().zip(&pos[range]) {
+                        this.deposit_one_into(obj, p, &mut scratch.charge);
+                        if obj.counts_in_overflow {
+                            scratch.area += obj.charge();
+                            this.deposit_usage_into(obj, p, &mut scratch.usage);
+                        }
+                    }
+                },
+            );
+        }
         self.charge.copy_from_slice(&self.fixed_charge);
         self.usage.iter_mut().for_each(|v| *v = 0.0);
         self.movable_area = 0.0;
-        for (charge, usage, area) in partials {
-            for (dst, src) in self.charge.iter_mut().zip(&charge) {
+        for scratch in pool.iter().take(chunks) {
+            for (dst, src) in self.charge.iter_mut().zip(&scratch.charge) {
                 *dst += *src;
             }
-            for (dst, src) in self.usage.iter_mut().zip(&usage) {
+            for (dst, src) in self.usage.iter_mut().zip(&scratch.usage) {
                 *dst += *src;
             }
-            self.movable_area += area;
+            self.movable_area += scratch.area;
         }
+        self.deposit_pool = pool;
     }
 
     /// The inflated footprint and density scale used when depositing `obj`
@@ -420,28 +479,40 @@ impl DensityGrid {
         }
         self.transform.dct2(&mut self.coeff);
 
-        // Inverse Laplacian eigenvalues in bin-index space: w_u = πu/nx.
+        // Inverse Laplacian eigenvalues in bin-index space: w_u = πu/nx,
+        // read from the tables hoisted into the constructor.
         let nx = self.nx;
         let ny = self.ny;
-        let wx = |u: usize| PI * u as f64 / nx as f64;
-        let wy = |v: usize| PI * v as f64 / ny as f64;
 
         // Coefficient prep: ψ = a/(w_u² + w_v²) ((0,0) dropped), field
         // coefficients carry the extra w factor from differentiation.
         for v in 0..ny {
+            let wyv = self.wy_tab[v];
+            let wy2v = self.wy2_tab[v];
+            let row = v * nx;
             for u in 0..nx {
-                let idx = v * nx + u;
-                let lambda = wx(u) * wx(u) + wy(v) * wy(v);
+                let idx = row + u;
+                let lambda = self.wx2_tab[u] + wy2v;
                 let c = if lambda > 0.0 {
                     self.coeff[idx] / lambda
                 } else {
                     0.0
                 };
                 self.potential[idx] = c;
-                self.field_x[idx] = c * wx(u);
-                self.field_y[idx] = c * wy(v);
+                self.field_x[idx] = c * self.wx_tab[u];
+                self.field_y[idx] = c * wyv;
             }
         }
+
+        // Exact-inverse normalization and unit conversion constants
+        // (fields become physical ∂ψ/∂x, ∂ψ/∂y; the sine synthesis carries
+        // a −1 from differentiating the cosine basis). Each synthesis fuses
+        // its elementwise scale into the final transform store — the
+        // identical `v·scale` products the historical separate passes
+        // computed, three full-grid passes cheaper.
+        let inv_norm = 4.0 / (nx as f64 * ny as f64);
+        let scale_x = -inv_norm / self.bin_w;
+        let scale_y = -inv_norm / self.bin_h;
 
         // The three syntheses are independent — the paper's §VIII names
         // "acceleration via parallel computation" as future work, and this
@@ -456,30 +527,14 @@ impl DensityGrid {
             let (psi, fx, fy) = (&mut self.potential, &mut self.field_x, &mut self.field_y);
             let fy_t = &mut self.transform;
             std::thread::scope(|scope| {
-                scope.spawn(|| psi_t.dct3(psi));
-                scope.spawn(|| fx_t.dst3_x(fx));
-                fy_t.dst3_y(fy);
+                scope.spawn(|| psi_t.dct3_scaled(psi, inv_norm));
+                scope.spawn(|| fx_t.dst3_x_scaled(fx, scale_x));
+                fy_t.dst3_y_scaled(fy, scale_y);
             });
         } else {
-            self.transform.dct3(&mut self.potential);
-            self.transform.dst3_x(&mut self.field_x);
-            self.transform.dst3_y(&mut self.field_y);
-        }
-
-        // Exact-inverse normalization and unit conversion (fields become
-        // physical ∂ψ/∂x, ∂ψ/∂y; the sine synthesis carries a −1 from
-        // differentiating the cosine basis).
-        let inv_norm = 4.0 / (nx as f64 * ny as f64);
-        for p in self.potential.iter_mut() {
-            *p *= inv_norm;
-        }
-        let scale_x = -inv_norm / self.bin_w;
-        for f in self.field_x.iter_mut() {
-            *f *= scale_x;
-        }
-        let scale_y = -inv_norm / self.bin_h;
-        for f in self.field_y.iter_mut() {
-            *f *= scale_y;
+            self.transform.dct3_scaled(&mut self.potential, inv_norm);
+            self.transform.dst3_x_scaled(&mut self.field_x, scale_x);
+            self.transform.dst3_y_scaled(&mut self.field_y, scale_y);
         }
         self.solved = true;
         if let Some(t0) = t0 {
@@ -632,18 +687,30 @@ impl DensityGrid {
         (lo, lo + self.bin_h)
     }
 
+    /// Clamps a floating-point bin coordinate into `[0, n]` *before* the
+    /// `usize` cast. The old code leaned on Rust's saturating float→int cast
+    /// to absorb negative values (an interval entirely left of the region
+    /// produced a negative `ceil` that saturated to bin 0); the clamp makes
+    /// the intent explicit and keeps the helpers correct even if the cast
+    /// semantics ever change. NaN clamps to NaN and casts to 0 — an empty
+    /// range, never a panic.
+    #[inline]
+    fn clamp_bin(t: f64, n: usize) -> usize {
+        t.clamp(0.0, n as f64) as usize
+    }
+
     #[inline]
     fn bin_range_x(&self, xl: f64, xh: f64) -> (usize, usize) {
-        let lo = ((xl - self.region.xl) / self.bin_w).floor().max(0.0) as usize;
-        let hi = (((xh - self.region.xl) / self.bin_w).ceil() as usize).min(self.nx);
-        (lo.min(self.nx), hi)
+        let lo = Self::clamp_bin(((xl - self.region.xl) / self.bin_w).floor(), self.nx);
+        let hi = Self::clamp_bin(((xh - self.region.xl) / self.bin_w).ceil(), self.nx);
+        (lo, hi)
     }
 
     #[inline]
     fn bin_range_y(&self, yl: f64, yh: f64) -> (usize, usize) {
-        let lo = ((yl - self.region.yl) / self.bin_h).floor().max(0.0) as usize;
-        let hi = (((yh - self.region.yl) / self.bin_h).ceil() as usize).min(self.ny);
-        (lo.min(self.ny), hi)
+        let lo = Self::clamp_bin(((yl - self.region.yl) / self.bin_h).floor(), self.ny);
+        let hi = Self::clamp_bin(((yh - self.region.yl) / self.bin_h).ceil(), self.ny);
+        (lo, hi)
     }
 }
 
@@ -946,6 +1013,65 @@ mod tests {
     }
 
     #[test]
+    fn bin_ranges_clamp_to_grid_explicitly() {
+        let g = grid64(); // 16×16 bins over [0,64]²
+                          // Interval entirely left of / below the region: empty range at 0.
+        assert_eq!(g.bin_range_x(-50.0, -10.0), (0, 0));
+        assert_eq!(g.bin_range_y(-3.0, -1.0), (0, 0));
+        // Entirely right of / above: empty range pinned at nx/ny.
+        assert_eq!(g.bin_range_x(100.0, 200.0), (16, 16));
+        assert_eq!(g.bin_range_y(64.0, 80.0), (16, 16));
+        // Straddling both edges: the full grid.
+        assert_eq!(g.bin_range_x(-10.0, 100.0), (0, 16));
+        // Zero-width interval on a bin boundary: empty range (no bin visited).
+        assert_eq!(g.bin_range_x(8.0, 8.0), (2, 2));
+        // Zero-width interval inside a bin: one bin, whose overlap is zero.
+        assert_eq!(g.bin_range_x(9.0, 9.0), (2, 3));
+        // Non-finite input degrades to an empty range instead of panicking.
+        assert_eq!(g.bin_range_x(f64::NAN, f64::NAN), (0, 0));
+    }
+
+    #[test]
+    fn zero_area_objects_deposit_nothing() {
+        // A zero-width or zero-height object has zero charge; its inflated
+        // footprint must deposit exactly zero everywhere (the density scale
+        // collapses to 0), not a sliver from the clamped bin range.
+        for size in [
+            Size::new(0.0, 4.0),
+            Size::new(4.0, 0.0),
+            Size::new(0.0, 0.0),
+        ] {
+            let mut g = grid64();
+            let obj = DensityObject::movable(size);
+            g.deposit(&[obj], &[Point::new(30.0, 30.0)]);
+            assert!(
+                g.charge_map().iter().all(|&c| c == 0.0),
+                "zero-area {size:?} deposited charge"
+            );
+            assert_eq!(g.overflow(), 0.0);
+            g.solve(); // must not panic on an all-zero charge map
+            assert!(g.potential_map().iter().all(|p| p.is_finite()));
+        }
+    }
+
+    #[test]
+    fn eigenvalue_tables_match_inline_evaluation() {
+        // The hoisted tables must hold exactly the values the solve loop
+        // historically computed inline — bitwise.
+        let g = DensityGrid::new(Rect::new(0.0, 0.0, 48.0, 96.0), 8, 32, 1.0);
+        for u in 0..8 {
+            let w = PI * u as f64 / 8.0;
+            assert_eq!(g.wx_tab[u].to_bits(), w.to_bits());
+            assert_eq!(g.wx2_tab[u].to_bits(), (w * w).to_bits());
+        }
+        for v in 0..32 {
+            let w = PI * v as f64 / 32.0;
+            assert_eq!(g.wy_tab[v].to_bits(), w.to_bits());
+            assert_eq!(g.wy2_tab[v].to_bits(), (w * w).to_bits());
+        }
+    }
+
+    #[test]
     fn utilization_map_reflects_usage() {
         let mut g = grid64();
         let objs = vec![DensityObject::movable(Size::new(4.0, 4.0))];
@@ -1156,6 +1282,23 @@ mod parallel_deposit_tests {
             assert_eq!(two_bits, bits, "threads {threads}");
             assert_eq!(two.overflow().to_bits(), other.overflow().to_bits());
         }
+    }
+
+    /// Repeated parallel deposits reuse the pooled chunk accumulators and
+    /// still produce bit-identical maps (the reset reproduces fresh-buffer
+    /// contents exactly).
+    #[test]
+    fn repeated_parallel_deposits_reuse_pool_and_stay_bitwise_stable() {
+        let (objs, pos) = crowd(3000);
+        let mut g = grid128(ExecConfig::with_threads(4));
+        g.deposit(&objs, &pos);
+        let first: Vec<u64> = g.charge_map().iter().map(|v| v.to_bits()).collect();
+        let pool_len = g.deposit_pool.len();
+        assert!(pool_len > 0, "parallel deposit should have built a pool");
+        g.deposit(&objs, &pos);
+        assert_eq!(g.deposit_pool.len(), pool_len, "pool should be reused");
+        let second: Vec<u64> = g.charge_map().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(first, second);
     }
 
     /// threads = 1 and small inputs both take the historical serial sweep —

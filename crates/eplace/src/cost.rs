@@ -138,12 +138,12 @@ impl<'a> EplaceCost<'a> {
     /// initialization: wirelength and density forces start balanced) and
     /// sets γ from the initial overflow. Returns λ₀.
     pub fn init_lambda(&mut self, pos: &[Point]) -> f64 {
-        // Evaluate both raw gradients once.
+        // Evaluate both raw gradients once, reusing the owned full-design
+        // gradient buffer (the WA model zeroes it before accumulating).
         self.sync_full(pos);
-        let mut wl_grad = vec![Point::ORIGIN; self.design.cells.len()];
         self.last_smooth_wl =
             self.wa
-                .gradient(self.design, &self.full_pos, self.gamma, &mut wl_grad);
+                .gradient(self.design, &self.full_pos, self.gamma, &mut self.full_grad);
         self.grid.deposit(&self.problem.objects, pos);
         self.grid.solve();
         self.last_overflow = self.grid.overflow();
@@ -151,7 +151,7 @@ impl<'a> EplaceCost<'a> {
         let mut wl_l1 = 0.0;
         let mut den_l1 = 0.0;
         for (k, &ci) in self.problem.movable.iter().enumerate() {
-            let wg = wl_grad[ci];
+            let wg = self.full_grad[ci];
             wl_l1 += wg.x.abs() + wg.y.abs();
             let dg = self.grid.gradient(&self.problem.objects[k], pos[k]);
             den_l1 += dg.x.abs() + dg.y.abs();

@@ -609,6 +609,50 @@ mod tests {
         assert_eq!(h1, h2);
     }
 
+    /// The split run must also report the *cumulative* work statistics of
+    /// the uninterrupted run: the checkpoint carries the optimizer's
+    /// steps/backtracks counters across the resume boundary.
+    #[test]
+    fn resumed_run_reports_cumulative_work_counters() {
+        let mk = || {
+            let mut d = BenchmarkConfig::ispd05_like("resume-counters", 71)
+                .scale(250)
+                .generate();
+            initial_placement(&mut d);
+            insert_fillers(&mut d, 71);
+            let problem = PlacementProblem::all_movables(&d);
+            (d, problem)
+        };
+        let cfg = EplaceConfig::fast();
+
+        let (mut d1, p1) = mk();
+        let mut t1 = Vec::new();
+        let full =
+            run_global_placement(&mut d1, &p1, &cfg, Stage::Mgp, None, Some(24), &mut t1).unwrap();
+
+        let (mut d2, p2) = mk();
+        let mut t2 = Vec::new();
+        let part =
+            run_global_placement(&mut d2, &p2, &cfg, Stage::Mgp, None, Some(15), &mut t2).unwrap();
+        let ck = part.checkpoint.expect("checkpoint expected");
+        assert_eq!(ck.optimizer.steps, part.iterations);
+        let resumed =
+            resume_global_placement(&mut d2, &p2, &cfg, Stage::Mgp, &ck, Some(9), &mut t2).unwrap();
+
+        assert_eq!(resumed.total_backtracks, full.total_backtracks);
+        assert_eq!(
+            resumed.backtracks_per_iteration.to_bits(),
+            full.backtracks_per_iteration.to_bits()
+        );
+        let full_ck = full.checkpoint.expect("checkpoint expected");
+        let final_ck = resumed.checkpoint.expect("checkpoint expected");
+        assert_eq!(final_ck.optimizer.steps, full_ck.optimizer.steps);
+        assert_eq!(
+            final_ck.optimizer.total_backtracks,
+            full_ck.optimizer.total_backtracks
+        );
+    }
+
     #[test]
     fn resume_rejects_mismatched_checkpoint() {
         let mut d = BenchmarkConfig::ispd05_like("gp", 69).scale(200).generate();

@@ -54,6 +54,14 @@ pub struct NesterovCheckpoint {
     pub a: f64,
     /// Last accepted steplength (the Lipschitz-prediction fallback).
     pub last_alpha: f64,
+    /// Steps taken at checkpoint time. Carried so a resumed optimizer
+    /// ([`NesterovOptimizer::from_checkpoint`]) reports the same cumulative
+    /// work statistics as an uninterrupted run; a rollback
+    /// ([`NesterovOptimizer::restore`]) deliberately ignores it.
+    pub steps: usize,
+    /// Total backtracks at checkpoint time (same carry semantics as
+    /// [`NesterovCheckpoint::steps`]).
+    pub total_backtracks: usize,
 }
 
 /// State of Nesterov's method over a `Vec<Point>` solution.
@@ -103,8 +111,25 @@ impl NesterovOptimizer {
             .iter()
             .map(|p| p.x.abs().max(p.y.abs()))
             .fold(0.0, f64::max);
-        let t = if gmax > 0.0 { perturb / gmax } else { 0.0 };
-        let mut v_prev: Vec<Point> = init.iter().zip(&g).map(|(p, gi)| *p - *gi * t).collect();
+        let mut v_prev: Vec<Point> = if gmax > 0.0 {
+            let t = perturb / gmax;
+            init.iter().zip(&g).map(|(p, gi)| *p - *gi * t).collect()
+        } else {
+            // Zero initial gradient (an already-converged or all-fixed
+            // seed): the gradient-directed trial point would coincide with
+            // `init` and the first Lipschitz prediction degenerates to 0/0,
+            // leaving α pinned at the arbitrary default. Bootstrap from a
+            // deterministic coordinate perturbation of magnitude `perturb`
+            // instead, alternating the diagonal by index so the trial
+            // displacement is nonzero for every object.
+            init.iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    let s = if i % 2 == 0 { 1.0 } else { -1.0 };
+                    *p + Point::new(s * perturb, -s * perturb)
+                })
+                .collect()
+        };
         cost.project(&mut v_prev);
         let mut g_prev = vec![Point::ORIGIN; n];
         cost.gradient(&v_prev, &mut g_prev);
@@ -149,8 +174,10 @@ impl NesterovOptimizer {
             max_backtracks,
             backtracking,
             last_alpha: ck.last_alpha,
-            total_backtracks: 0,
-            steps: 0,
+            // Adopt the checkpointed work counters: a split run must report
+            // the same cumulative steps/backtracks as an uninterrupted one.
+            total_backtracks: ck.total_backtracks,
+            steps: ck.steps,
             scratch_u: vec![Point::ORIGIN; n],
             scratch_v: vec![Point::ORIGIN; n],
             scratch_g: vec![Point::ORIGIN; n],
@@ -175,13 +202,17 @@ impl NesterovOptimizer {
             g_prev: self.g_prev.clone(),
             a: self.a,
             last_alpha: self.last_alpha,
+            steps: self.steps,
+            total_backtracks: self.total_backtracks,
         }
     }
 
-    /// Rewinds the trajectory to `ck`. The work counters
+    /// Rewinds the trajectory to `ck`. The live work counters
     /// ([`NesterovOptimizer::total_backtracks`], [`NesterovOptimizer::steps`])
     /// keep accumulating — they measure effort spent, not trajectory
-    /// position.
+    /// position — so the checkpointed counter values are deliberately
+    /// ignored here (only [`NesterovOptimizer::from_checkpoint`], the resume
+    /// path, adopts them).
     pub fn restore(&mut self, ck: &NesterovCheckpoint) {
         self.u.copy_from_slice(&ck.u);
         self.v.copy_from_slice(&ck.v);
@@ -503,6 +534,128 @@ mod tests {
             assert_eq!(a.to_bits(), b.to_bits());
         }
         assert_eq!(opt.solution(), resumed.solution());
+    }
+
+    #[test]
+    fn from_checkpoint_carries_work_counters() {
+        // Stiffness jumps 100× mid-run so backtracks are guaranteed nonzero.
+        struct Shifting {
+            calls: usize,
+        }
+        impl Gradient for Shifting {
+            fn gradient(&mut self, pos: &[Point], grad: &mut [Point]) {
+                self.calls += 1;
+                let c = if self.calls > 5 { 100.0 } else { 1.0 };
+                for i in 0..pos.len() {
+                    grad[i] = Point::new(pos[i].x * c, pos[i].y * 0.13 * c);
+                }
+            }
+        }
+        let mut f = Shifting { calls: 0 };
+        let mut opt =
+            NesterovOptimizer::new(vec![Point::new(10.0, 10.0)], &mut f, 0.95, 10, true, 0.1);
+        for _ in 0..10 {
+            opt.step(&mut f);
+        }
+        assert!(opt.total_backtracks > 0, "test needs nonzero backtracks");
+        let resumed = NesterovOptimizer::from_checkpoint(opt.checkpoint(), 0.95, 10, true);
+        assert_eq!(resumed.steps, opt.steps);
+        assert_eq!(resumed.total_backtracks, opt.total_backtracks);
+        assert_eq!(
+            resumed.backtracks_per_step().to_bits(),
+            opt.backtracks_per_step().to_bits()
+        );
+    }
+
+    #[test]
+    fn restore_keeps_work_counters_accumulating() {
+        let (mut q, init) = setup();
+        let mut opt = NesterovOptimizer::new(init, &mut q, 0.95, 10, true, 0.1);
+        for _ in 0..3 {
+            opt.step(&mut q);
+        }
+        let ck = opt.checkpoint();
+        for _ in 0..4 {
+            opt.step(&mut q);
+        }
+        opt.restore(&ck);
+        // Rollback measures effort spent: 7 steps happened, not 3.
+        assert_eq!(opt.steps, 7);
+        opt.step(&mut q);
+        assert_eq!(opt.steps, 8);
+    }
+
+    #[test]
+    fn zero_gradient_seed_bootstraps_with_finite_steplength() {
+        // A perfectly converged seed: init == targets, so the initial
+        // gradient is exactly zero. The deterministic perturbation must
+        // still produce a genuine Lipschitz estimate (α → 1/c on a
+        // c-quadratic), not the arbitrary default of 1.0.
+        let targets = vec![Point::new(2.0, -3.0), Point::new(-1.0, 4.0)];
+        let mut q = Quadratic {
+            targets: targets.clone(),
+            scale: vec![4.0, 4.0],
+        };
+        let mut opt = NesterovOptimizer::new(targets.clone(), &mut q, 0.95, 10, true, 0.1);
+        let info = opt.step(&mut q);
+        assert!(info.alpha.is_finite() && info.alpha > 0.0);
+        assert!(
+            (info.alpha - 0.25).abs() < 1e-9,
+            "expected the 1/c Lipschitz steplength, got {}",
+            info.alpha
+        );
+        // The solution itself must not move off the optimum (the gradient
+        // at the reference point is zero).
+        for (p, t) in opt.solution().iter().zip(&targets) {
+            assert!(p.distance(*t) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn all_zero_gradient_oracle_does_not_produce_nan() {
+        // Degenerate oracle (all objects fixed → force identically zero):
+        // steps must stay finite no-ops instead of poisoning the state.
+        struct Zero;
+        impl Gradient for Zero {
+            fn gradient(&mut self, _pos: &[Point], grad: &mut [Point]) {
+                for g in grad.iter_mut() {
+                    *g = Point::ORIGIN;
+                }
+            }
+        }
+        let mut f = Zero;
+        let init = vec![Point::new(1.0, 2.0), Point::new(3.0, 4.0)];
+        let mut opt = NesterovOptimizer::new(init.clone(), &mut f, 0.95, 10, true, 0.1);
+        for _ in 0..3 {
+            let info = opt.step(&mut f);
+            assert!(info.alpha.is_finite() && info.alpha > 0.0);
+        }
+        for (p, i) in opt.solution().iter().zip(&init) {
+            assert!(p.is_finite());
+            assert!(p.distance(*i) < 1e-12, "zero force must not move cells");
+        }
+    }
+
+    #[test]
+    fn nonzero_gradient_bootstrap_is_unchanged_by_the_fallback() {
+        // The gmax > 0 path must be byte-identical to the historical
+        // formula v_prev = init − g·(perturb/gmax).
+        let (mut q, init) = setup();
+        let mut g = vec![Point::ORIGIN; init.len()];
+        q.gradient(&init, &mut g);
+        let gmax = g
+            .iter()
+            .map(|p| p.x.abs().max(p.y.abs()))
+            .fold(0.0, f64::max);
+        assert!(gmax > 0.0);
+        let t = 0.1 / gmax;
+        let expect: Vec<Point> = init.iter().zip(&g).map(|(p, gi)| *p - *gi * t).collect();
+        let opt = NesterovOptimizer::new(init, &mut q, 0.95, 10, true, 0.1);
+        let ck = opt.checkpoint();
+        for (a, b) in ck.v_prev.iter().zip(&expect) {
+            assert_eq!(a.x.to_bits(), b.x.to_bits());
+            assert_eq!(a.y.to_bits(), b.y.to_bits());
+        }
     }
 
     #[test]

@@ -229,6 +229,129 @@ pub fn for_each_unit<T, S, M, F>(
     });
 }
 
+/// [`for_each_unit`] with caller-owned scratch: instead of building one
+/// scratch per worker per call, `pool` is topped up to the worker count with
+/// `make_scratch` (on the calling thread) and each worker borrows one slot,
+/// so steady-state calls allocate nothing. Scratch contents persist between
+/// calls; `work` must not read scratch state it has not written this call —
+/// the same contract the per-worker reuse across units already imposes.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a multiple of `unit_len`.
+pub fn for_each_unit_pooled<T, S, M, F>(
+    exec: &ExecConfig,
+    data: &mut [T],
+    unit_len: usize,
+    pool: &mut Vec<S>,
+    make_scratch: M,
+    work: F,
+) where
+    T: Send,
+    S: Send,
+    M: Fn() -> S,
+    F: Fn(usize, &mut [T], &mut S) + Sync,
+{
+    assert!(unit_len > 0, "unit length must be positive");
+    assert_eq!(
+        data.len() % unit_len,
+        0,
+        "data length {} is not a multiple of unit length {}",
+        data.len(),
+        unit_len
+    );
+    let units = data.len() / unit_len;
+    let workers = if exec.is_serial() || units <= 1 {
+        1
+    } else {
+        exec.threads().min(units)
+    };
+    while pool.len() < workers {
+        pool.push(make_scratch());
+    }
+    if workers == 1 {
+        let scratch = &mut pool[0];
+        for (i, unit) in data.chunks_mut(unit_len).enumerate() {
+            work(i, unit, scratch);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut scratches = &mut pool[..workers];
+        let base = units / workers;
+        let rem = units % workers;
+        let mut first_unit = 0;
+        for w in 0..workers {
+            let take = (base + usize::from(w < rem)) * unit_len;
+            let (mine, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let (slot, scratch_tail) = scratches.split_at_mut(1);
+            scratches = scratch_tail;
+            let start = first_unit;
+            first_unit += take / unit_len;
+            let work = &work;
+            scope.spawn(move || {
+                let scratch = &mut slot[0];
+                for (k, unit) in mine.chunks_mut(unit_len).enumerate() {
+                    work(start + k, unit, scratch);
+                }
+            });
+        }
+    });
+}
+
+/// [`map_chunks`] with caller-owned per-chunk state: chunk `i` of
+/// `num_chunks` fixed ranges of `0..len` runs `work(i, range, &mut pool[i])`
+/// exactly once, with `pool` topped up beforehand via `make_scratch` (on the
+/// calling thread). After the call `pool[..num_chunks]` holds the per-chunk
+/// results in chunk order — reduce them front-to-back for a thread-count
+/// invariant result, then hand the same pool back next call so steady-state
+/// iterations allocate nothing. `work` is responsible for resetting any
+/// state left from the previous call.
+pub fn for_each_chunk_pooled<S, M, F>(
+    exec: &ExecConfig,
+    len: usize,
+    num_chunks: usize,
+    pool: &mut Vec<S>,
+    make_scratch: M,
+    work: F,
+) where
+    S: Send,
+    M: Fn() -> S,
+    F: Fn(usize, Range<usize>, &mut S) + Sync,
+{
+    let num_chunks = num_chunks.max(1);
+    while pool.len() < num_chunks {
+        pool.push(make_scratch());
+    }
+    if exec.is_serial() || num_chunks == 1 {
+        for (i, scratch) in pool.iter_mut().enumerate().take(num_chunks) {
+            work(i, chunk_range(len, num_chunks, i), scratch);
+        }
+        return;
+    }
+    // Dynamic chunk claiming as in `map_chunks`; each slot's mutex is locked
+    // exactly once, by the worker that claimed its index.
+    let slots: Vec<Mutex<&mut S>> = pool.iter_mut().take(num_chunks).map(Mutex::new).collect();
+    let next = AtomicUsize::new(0);
+    let workers = exec.threads().min(num_chunks);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= num_chunks {
+                    break;
+                }
+                let mut slot = slots[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                work(i, chunk_range(len, num_chunks, i), &mut slot);
+            });
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,5 +474,68 @@ mod tests {
     fn map_chunks_handles_empty_input() {
         let out = map_chunks(&ExecConfig::with_threads(4), 0, 1, |_, r| r.len());
         assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn pooled_units_match_fresh_scratch_and_reuse_pool() {
+        let run = |threads: usize, pool: &mut Vec<Vec<f64>>| {
+            let mut data: Vec<f64> = (0..64 * 16).map(|i| (i % 97) as f64).collect();
+            for_each_unit_pooled(
+                &ExecConfig::with_threads(threads),
+                &mut data,
+                64,
+                pool,
+                || vec![0.0f64; 64],
+                |i, unit, scratch| {
+                    for (k, v) in unit.iter_mut().enumerate() {
+                        scratch[k] = *v * (i + 1) as f64;
+                    }
+                    unit.copy_from_slice(scratch);
+                },
+            );
+            data
+        };
+        let mut pool = Vec::new();
+        let serial = run(1, &mut pool);
+        assert_eq!(pool.len(), 1);
+        for threads in [2, 4, 16] {
+            let mut pool = Vec::new();
+            assert_eq!(serial, run(threads, &mut pool), "threads {threads}");
+            assert_eq!(pool.len(), threads.min(16));
+            // Second call reuses the pool without growing it.
+            assert_eq!(serial, run(threads, &mut pool), "threads {threads}");
+            assert_eq!(pool.len(), threads.min(16));
+        }
+    }
+
+    #[test]
+    fn pooled_chunks_fill_in_chunk_order_and_reuse_pool() {
+        let len = 10_000;
+        let chunks = deterministic_chunks(len, 512, 8);
+        let reduce = |exec: &ExecConfig, pool: &mut Vec<f64>| {
+            for_each_chunk_pooled(
+                exec,
+                len,
+                chunks,
+                pool,
+                || 0.0,
+                |_, r, acc| {
+                    *acc = noisy_sum(r);
+                },
+            );
+            pool.iter().take(chunks).fold(0.0, |acc, x| acc + x)
+        };
+        let mut pool = Vec::new();
+        let serial = reduce(&ExecConfig::serial(), &mut pool);
+        assert_eq!(pool.len(), chunks);
+        for threads in [2, 3, 8] {
+            let mut pool = Vec::new();
+            let parallel = reduce(&ExecConfig::with_threads(threads), &mut pool);
+            assert_eq!(serial.to_bits(), parallel.to_bits(), "threads {threads}");
+            // Stale pool contents are overwritten, not accumulated.
+            let again = reduce(&ExecConfig::with_threads(threads), &mut pool);
+            assert_eq!(serial.to_bits(), again.to_bits(), "threads {threads}");
+            assert_eq!(pool.len(), chunks);
+        }
     }
 }

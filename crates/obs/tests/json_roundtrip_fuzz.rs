@@ -1,0 +1,147 @@
+//! Round-trip fuzz between the JSONL writer ([`eplace_obs::Record`]) and
+//! the reader ([`eplace_obs::parse_json`]).
+//!
+//! The journal's durability contract is that every line the writer emits is
+//! valid JSON and reads back to exactly the data that went in — including
+//! hostile strings (control characters, quotes, backslash runs that look
+//! like `\u` escapes, non-ASCII, astral-plane code points) and every finite
+//! `f64` bit pattern. These tests drive both directions with
+//! `eplace-testkit`'s deterministic generator.
+
+use eplace_obs::json::{parse_json, JsonValue};
+use eplace_obs::Record;
+use eplace_testkit::{check, Gen};
+
+/// Builds one adversarial string from a grab-bag of hazards.
+fn hostile_string(g: &mut Gen) -> String {
+    const ATOMS: &[&str] = &[
+        "\"",
+        "\\",
+        "\\\\",
+        "\\u0041", // literal text that *looks* like an escape
+        "\\u",     // truncated escape-lookalike
+        "\u{0}",   // NUL
+        "\u{1}",
+        "\u{8}", // backspace (has a short escape in JSON)
+        "\u{b}", // vertical tab (no short JSON escape)
+        "\u{c}", // form feed
+        "\n",
+        "\r",
+        "\t",
+        "\u{1f}",   // last control character
+        "\u{7f}",   // DEL (legal raw in JSON strings)
+        "\u{2028}", // line separator (legal in JSON, hostile to JS)
+        "\u{2029}",
+        "é",
+        "λ=0.5",
+        "置換",
+        "😀", // astral plane → surrogate pair in \u form
+        "𝒳",
+        "/",
+        "</script>",
+        "{\"fake\":1}",
+        "plain",
+        " ",
+        "",
+    ];
+    let n = g.usize_range(0, 12);
+    let mut s = String::new();
+    for _ in 0..n {
+        s.push_str(ATOMS[g.usize_range(0, ATOMS.len() - 1)]);
+    }
+    s
+}
+
+#[test]
+fn hostile_strings_round_trip_through_writer_and_parser() {
+    check("obs_json_string_roundtrip", 500, |g| {
+        let key = hostile_string(g);
+        let value = hostile_string(g);
+        let kind = hostile_string(g);
+        let line = Record::new(&kind).str_field(&key, &value).into_line();
+        let parsed = parse_json(&line)
+            .unwrap_or_else(|e| panic!("writer emitted invalid JSON: {e}\nline: {line:?}"));
+        assert_eq!(
+            parsed.get("type").and_then(JsonValue::as_str),
+            Some(kind.as_str()),
+            "type field corrupted for {kind:?}"
+        );
+        // `get` finds the first match; a hostile key may collide with
+        // "type", in which case the value lookup legitimately differs.
+        if key != "type" {
+            assert_eq!(
+                parsed.get(&key).and_then(JsonValue::as_str),
+                Some(value.as_str()),
+                "value corrupted for key {key:?} value {value:?}"
+            );
+        }
+    });
+}
+
+#[test]
+fn every_unicode_scalar_in_the_bmp_survives_alone() {
+    // Exhaustive single-character sweep over the basic multilingual plane
+    // boundaries that matter: all controls, ASCII, and a band around every
+    // escaping decision point.
+    let mut probes: Vec<char> = (0u32..0x100).filter_map(char::from_u32).collect();
+    probes.extend(['\u{2027}', '\u{2028}', '\u{2029}', '\u{202a}']);
+    probes.extend(['\u{d7ff}', '\u{e000}', '\u{fffd}', '\u{ffff}']);
+    probes.extend(['\u{10000}', '\u{1f600}', '\u{10ffff}']);
+    for c in probes {
+        let value = c.to_string();
+        let line = Record::new("probe").str_field("v", &value).into_line();
+        let parsed = parse_json(&line)
+            .unwrap_or_else(|e| panic!("U+{:04X} broke the writer: {e}\nline: {line:?}", c as u32));
+        assert_eq!(
+            parsed.get("v").and_then(JsonValue::as_str),
+            Some(value.as_str()),
+            "U+{:04X} corrupted in round trip",
+            c as u32
+        );
+    }
+}
+
+#[test]
+fn finite_f64_bit_patterns_round_trip_exactly() {
+    check("obs_json_f64_roundtrip", 500, |g| {
+        // Stress the shortest-round-trip Display across magnitudes,
+        // including subnormals and negative zero.
+        let exp = g.i32_range(-300, 300);
+        let mantissa = g.f64_range(-1.0, 1.0);
+        let mut v = mantissa * 10f64.powi(exp);
+        if g.bool(0.05) {
+            v = -0.0;
+        }
+        if g.bool(0.05) {
+            v = f64::MIN_POSITIVE * g.f64_range(0.0, 1.0); // subnormal range
+        }
+        let line = Record::new("num").f64_field("v", v).into_line();
+        let parsed = parse_json(&line).expect("valid JSON");
+        let back = parsed.get("v").and_then(JsonValue::as_f64).expect("number");
+        assert_eq!(
+            back.to_bits(),
+            v.to_bits(),
+            "f64 {v:e} did not survive the round trip (got {back:e})"
+        );
+    });
+}
+
+#[test]
+fn non_finite_floats_serialize_as_null() {
+    for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let line = Record::new("num").f64_field("v", v).into_line();
+        let parsed = parse_json(&line).expect("valid JSON");
+        assert!(parsed.get("v").expect("field present").is_null());
+    }
+}
+
+#[test]
+fn u64_extremes_round_trip_within_f64_precision() {
+    // The reader parses numbers into f64, so exact round-trips hold up to
+    // 2^53; the writer's contract for counters is documented accordingly.
+    for v in [0u64, 1, 2_u64.pow(32), 2_u64.pow(53)] {
+        let line = Record::new("num").u64_field("v", v).into_line();
+        let parsed = parse_json(&line).expect("valid JSON");
+        assert_eq!(parsed.get("v").and_then(JsonValue::as_u64), Some(v));
+    }
+}

@@ -13,6 +13,21 @@ use std::f64::consts::PI;
 ///   potential ψ,
 /// * [`DctPlan::dst3`] — DST-III-style synthesis, used for the field ξ.
 ///
+/// The hot-path structure exploits the real-valued input end to end while
+/// staying bit-for-bit identical to the textbook pipeline it replaces:
+///
+/// * the forward path loads the real input through a precomputed
+///   permutation that fuses Makhoul's even/odd reorder with the FFT's
+///   bit-reversal (a real-to-complex gather; no separate pack or swap pass),
+///   and the post-twiddle keeps only the real component each output needs;
+/// * the synthesis paths rebuild the Hermitian spectrum directly in
+///   bit-reversed order from precomputed conjugate twiddles, run the raw
+///   inverse butterflies, and fuse the `1/N` normalization (and the DCT-III
+///   `N/2` scale / DST sign flips) into the unpacking store;
+/// * the `*_inplace` variants read the whole line into scratch before any
+///   store, so each row/column of a 2-D pass transforms without a bounce
+///   buffer.
+///
 /// # Examples
 ///
 /// ```
@@ -32,6 +47,15 @@ pub struct DctPlan {
     fft: FftPlan,
     /// `e^{-iπu/(2N)}` for `u < N` — forward post-twiddles.
     fwd_twiddles: Vec<Complex>,
+    /// Exact conjugates of `fwd_twiddles` — synthesis pre-twiddles
+    /// (conjugation only negates the imaginary part, so the table agrees
+    /// bit-for-bit with the per-call `conj()` it replaces).
+    inv_twiddles: Vec<Complex>,
+    /// Fused input permutation for the forward path:
+    /// `packed_rev[j] = makhoul(bit_rev[j])` where `makhoul` maps FFT slot
+    /// `i` to source index `2i` (first half) or `2(N−1−i)+1` (second half).
+    /// One gather replaces the pack pass plus the in-place swap pass.
+    packed_rev: Vec<u32>,
 }
 
 /// Reusable work buffers for the `*_scratch` transform variants.
@@ -43,8 +67,6 @@ pub struct DctPlan {
 pub struct DctScratch {
     /// Complex FFT workspace.
     freq: Vec<Complex>,
-    /// Real workspace for the DST coefficient reversal.
-    reversed: Vec<f64>,
 }
 
 impl DctScratch {
@@ -52,7 +74,6 @@ impl DctScratch {
     pub fn new(size: usize) -> Self {
         DctScratch {
             freq: vec![Complex::ZERO; size],
-            reversed: vec![0.0; size],
         }
     }
 
@@ -69,6 +90,17 @@ impl DctScratch {
     }
 }
 
+/// Which fused post-pass a synthesis store applies.
+#[derive(Clone, Copy)]
+enum Synth {
+    /// `1/N` normalization only (exact inverse of `dct2`).
+    Idct2,
+    /// `1/N` then `N/2` — the DCT-III scale.
+    Dct3,
+    /// DCT-III scale plus the DST's alternating sign flip on odd outputs.
+    Dst3,
+}
+
 impl DctPlan {
     /// Builds a plan for transforms of length `size`.
     ///
@@ -76,13 +108,32 @@ impl DctPlan {
     ///
     /// Panics if `size` is not a power of two.
     pub fn new(size: usize) -> Self {
-        let fwd_twiddles = (0..size)
+        let fft = FftPlan::new(size);
+        let fwd_twiddles: Vec<Complex> = (0..size)
             .map(|u| Complex::from_polar_unit(-PI * u as f64 / (2 * size) as f64))
             .collect();
+        let inv_twiddles = fwd_twiddles.iter().map(|w| w.conj()).collect();
+        let packed_rev = if size == 1 {
+            vec![0]
+        } else {
+            fft.bit_rev_table()
+                .iter()
+                .map(|&j| {
+                    let i = j as usize;
+                    if i < size / 2 {
+                        2 * i as u32
+                    } else {
+                        (2 * (size - 1 - i) + 1) as u32
+                    }
+                })
+                .collect()
+        };
         DctPlan {
             size,
-            fft: FftPlan::new(size),
+            fft,
             fwd_twiddles,
+            inv_twiddles,
+            packed_rev,
         }
     }
 
@@ -96,6 +147,10 @@ impl DctPlan {
     #[inline]
     pub fn is_empty(&self) -> bool {
         false
+    }
+
+    fn check(&self, len: usize, what: &str) {
+        assert_eq!(len, self.size, "{what} length mismatch");
     }
 
     /// Forward DCT-II: `X[u] = Σ_n x[n]·cos(π·u·(2n+1)/(2N))`.
@@ -126,23 +181,215 @@ impl DctPlan {
     ///
     /// Panics if any slice or scratch length differs from the plan size.
     pub fn dct2_scratch(&self, input: &[f64], out: &mut [f64], scratch: &mut DctScratch) {
-        let n = self.size;
-        assert_eq!(input.len(), n, "dct2 input length mismatch");
-        assert_eq!(out.len(), n, "dct2 output length mismatch");
-        assert_eq!(scratch.len(), n, "dct2 scratch length mismatch");
-        if n == 1 {
+        self.check(input.len(), "dct2 input");
+        self.check(out.len(), "dct2 output");
+        self.check(scratch.len(), "dct2 scratch");
+        if self.size == 1 {
             out[0] = input[0];
             return;
         }
-        // Makhoul repacking: even-indexed samples ascending, odd descending.
-        let buf = &mut scratch.freq;
-        for i in 0..n / 2 {
-            buf[i] = Complex::from(input[2 * i]);
-            buf[n - 1 - i] = Complex::from(input[2 * i + 1]);
+        self.dct2_load(input, &mut scratch.freq);
+        self.fft.butterflies(&mut scratch.freq, false);
+        self.dct2_store(&scratch.freq, out);
+    }
+
+    /// [`DctPlan::dct2`] transforming `data` in place (the input is fully
+    /// gathered into scratch before the first store).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice or scratch length differs from the plan size.
+    pub fn dct2_inplace(&self, data: &mut [f64], scratch: &mut DctScratch) {
+        self.check(data.len(), "dct2 input");
+        self.check(scratch.len(), "dct2 scratch");
+        if self.size == 1 {
+            return;
         }
-        self.fft.forward(buf);
-        for u in 0..n {
-            out[u] = (buf[u] * self.fwd_twiddles[u]).re;
+        self.dct2_load(data, &mut scratch.freq);
+        self.fft.butterflies(&mut scratch.freq, false);
+        self.dct2_store(&scratch.freq, data);
+    }
+
+    /// [`DctPlan::dct2_inplace`] over the strided line
+    /// `data[offset + i·stride]` — one column of a row-major 2-D grid
+    /// transforms directly, with no bounce through a contiguous staging
+    /// buffer. The element values and every operation on them are identical
+    /// to gather → contiguous transform → scatter, so the output bits are
+    /// too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scratch length differs from the plan size or the
+    /// strided line runs past `data`.
+    pub fn dct2_strided(
+        &self,
+        data: &mut [f64],
+        offset: usize,
+        stride: usize,
+        scratch: &mut DctScratch,
+    ) {
+        self.check_strided(data.len(), offset, stride, "dct2");
+        self.check(scratch.len(), "dct2 scratch");
+        if self.size == 1 {
+            return;
+        }
+        for (slot, &src) in scratch.freq.iter_mut().zip(&self.packed_rev) {
+            *slot = Complex::from(data[offset + src as usize * stride]);
+        }
+        self.fft.butterflies(&mut scratch.freq, false);
+        for (u, (z, t)) in scratch.freq.iter().zip(&self.fwd_twiddles).enumerate() {
+            data[offset + u * stride] = z.re * t.re - z.im * t.im;
+        }
+    }
+
+    /// [`DctPlan::dct3_inplace`] over the strided line
+    /// `data[offset + i·stride]`, with `scale` multiplying every stored
+    /// output — the caller's elementwise post-scale pass fused into the
+    /// store (`v·scale` exactly as the separate pass computes it; pass
+    /// `1.0` for none).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scratch length differs from the plan size or the
+    /// strided line runs past `data`.
+    pub fn dct3_strided(
+        &self,
+        data: &mut [f64],
+        offset: usize,
+        stride: usize,
+        scale: f64,
+        scratch: &mut DctScratch,
+    ) {
+        self.synth_strided(
+            data,
+            offset,
+            stride,
+            scale,
+            scratch,
+            Synth::Dct3,
+            false,
+            "dct3",
+        )
+    }
+
+    /// [`DctPlan::dst3_inplace`] over the strided line
+    /// `data[offset + i·stride]`, with `scale` fused into the store (see
+    /// [`DctPlan::dct3_strided`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scratch length differs from the plan size or the
+    /// strided line runs past `data`.
+    pub fn dst3_strided(
+        &self,
+        data: &mut [f64],
+        offset: usize,
+        stride: usize,
+        scale: f64,
+        scratch: &mut DctScratch,
+    ) {
+        self.synth_strided(
+            data,
+            offset,
+            stride,
+            scale,
+            scratch,
+            Synth::Dst3,
+            true,
+            "dst3",
+        )
+    }
+
+    fn check_strided(&self, len: usize, offset: usize, stride: usize, what: &str) {
+        assert!(stride > 0, "{what} stride must be positive");
+        assert!(
+            offset + (self.size - 1) * stride < len,
+            "{what} strided line (offset {offset}, stride {stride}) exceeds buffer length {len}"
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn synth_strided(
+        &self,
+        data: &mut [f64],
+        offset: usize,
+        stride: usize,
+        scale: f64,
+        scratch: &mut DctScratch,
+        mode: Synth,
+        reversed: bool,
+        what: &str,
+    ) {
+        self.check_strided(data.len(), offset, stride, what);
+        self.check(scratch.len(), what);
+        let n = self.size;
+        if n == 1 {
+            data[offset] = self.synth_size_one(data[offset], mode) * scale;
+            return;
+        }
+        if reversed {
+            for (slot, &ju) in scratch.freq.iter_mut().zip(self.fft.bit_rev_table()) {
+                let u = ju as usize;
+                *slot = if u == 0 {
+                    Complex::ZERO
+                } else {
+                    Complex::new(data[offset + (n - u) * stride], -data[offset + u * stride])
+                        * self.inv_twiddles[u]
+                };
+            }
+        } else {
+            for (slot, &ju) in scratch.freq.iter_mut().zip(self.fft.bit_rev_table()) {
+                let u = ju as usize;
+                *slot = if u == 0 {
+                    Complex::from(data[offset])
+                } else {
+                    Complex::new(data[offset + u * stride], -data[offset + (n - u) * stride])
+                        * self.inv_twiddles[u]
+                };
+            }
+        }
+        self.fft.butterflies(&mut scratch.freq, true);
+        let inv_n = 1.0 / n as f64;
+        let half_n = n as f64 / 2.0;
+        match mode {
+            Synth::Idct2 => {
+                for i in 0..n / 2 {
+                    data[offset + 2 * i * stride] = (scratch.freq[i].re * inv_n) * scale;
+                    data[offset + (2 * i + 1) * stride] =
+                        (scratch.freq[n - 1 - i].re * inv_n) * scale;
+                }
+            }
+            Synth::Dct3 => {
+                for i in 0..n / 2 {
+                    data[offset + 2 * i * stride] = ((scratch.freq[i].re * inv_n) * half_n) * scale;
+                    data[offset + (2 * i + 1) * stride] =
+                        ((scratch.freq[n - 1 - i].re * inv_n) * half_n) * scale;
+                }
+            }
+            Synth::Dst3 => {
+                for i in 0..n / 2 {
+                    data[offset + 2 * i * stride] = ((scratch.freq[i].re * inv_n) * half_n) * scale;
+                    data[offset + (2 * i + 1) * stride] =
+                        (-((scratch.freq[n - 1 - i].re * inv_n) * half_n)) * scale;
+                }
+            }
+        }
+    }
+
+    /// Real-to-complex gather through the fused Makhoul + bit-reversal
+    /// permutation.
+    fn dct2_load(&self, input: &[f64], freq: &mut [Complex]) {
+        for (slot, &src) in freq.iter_mut().zip(&self.packed_rev) {
+            *slot = Complex::from(input[src as usize]);
+        }
+    }
+
+    /// Post-twiddle keeping only the real component:
+    /// `out[u] = Re(freq[u]·w[u])` — the identical multiply-subtract the
+    /// full complex product performs for its real part.
+    fn dct2_store(&self, freq: &[Complex], out: &mut [f64]) {
+        for ((o, z), t) in out.iter_mut().zip(freq).zip(&self.fwd_twiddles) {
+            *o = z.re * t.re - z.im * t.im;
         }
     }
 
@@ -173,27 +420,16 @@ impl DctPlan {
     ///
     /// Panics if any slice or scratch length differs from the plan size.
     pub fn idct2_scratch(&self, coeffs: &[f64], out: &mut [f64], scratch: &mut DctScratch) {
-        let n = self.size;
-        assert_eq!(coeffs.len(), n, "idct2 input length mismatch");
-        assert_eq!(out.len(), n, "idct2 output length mismatch");
-        assert_eq!(scratch.len(), n, "idct2 scratch length mismatch");
-        if n == 1 {
-            out[0] = coeffs[0];
-            return;
-        }
-        // Rebuild the FFT spectrum: V[u] = e^{iπu/(2N)}·(X[u] − i·X[N−u]),
-        // with X[N] ≡ 0.
-        let buf = &mut scratch.freq;
-        buf[0] = Complex::from(coeffs[0]);
-        for u in 1..n {
-            let z = Complex::new(coeffs[u], -coeffs[n - u]);
-            buf[u] = z * self.fwd_twiddles[u].conj();
-        }
-        self.fft.inverse(buf);
-        for i in 0..n / 2 {
-            out[2 * i] = buf[i].re;
-            out[2 * i + 1] = buf[n - 1 - i].re;
-        }
+        self.synth_scratch(coeffs, out, scratch, Synth::Idct2, false, "idct2")
+    }
+
+    /// [`DctPlan::idct2`] transforming `data` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice or scratch length differs from the plan size.
+    pub fn idct2_inplace(&self, data: &mut [f64], scratch: &mut DctScratch) {
+        self.synth_inplace(data, scratch, Synth::Idct2, false, "idct2")
     }
 
     /// DCT-III synthesis:
@@ -226,11 +462,16 @@ impl DctPlan {
     ///
     /// Panics if any slice or scratch length differs from the plan size.
     pub fn dct3_scratch(&self, coeffs: &[f64], out: &mut [f64], scratch: &mut DctScratch) {
-        self.idct2_scratch(coeffs, out, scratch);
-        let scale = self.size as f64 / 2.0;
-        for v in out.iter_mut() {
-            *v *= scale;
-        }
+        self.synth_scratch(coeffs, out, scratch, Synth::Dct3, false, "dct3")
+    }
+
+    /// [`DctPlan::dct3`] transforming `data` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice or scratch length differs from the plan size.
+    pub fn dct3_inplace(&self, data: &mut [f64], scratch: &mut DctScratch) {
+        self.synth_inplace(data, scratch, Synth::Dct3, false, "dct3")
     }
 
     /// DST-III-style synthesis used for the electric field:
@@ -242,7 +483,9 @@ impl DctPlan {
     /// Implemented through the identity
     /// `sin(πu(2n+1)/(2N)) = (−1)ⁿ·cos(π(N−u)(2n+1)/(2N))`, which turns the
     /// sine synthesis into a coefficient-reversed [`DctPlan::dct3`] followed
-    /// by alternating sign flips.
+    /// by alternating sign flips; the reversal is fused into the spectrum
+    /// rebuild and the sign flips into the unpacking store, so no extra
+    /// passes run.
     ///
     /// # Panics
     ///
@@ -269,26 +512,122 @@ impl DctPlan {
     ///
     /// Panics if any slice or scratch length differs from the plan size.
     pub fn dst3_scratch(&self, coeffs: &[f64], out: &mut [f64], scratch: &mut DctScratch) {
-        let n = self.size;
-        assert_eq!(coeffs.len(), n, "dst3 input length mismatch");
-        assert_eq!(out.len(), n, "dst3 output length mismatch");
-        assert_eq!(scratch.len(), n, "dst3 scratch length mismatch");
-        if n == 1 {
-            out[0] = 0.0;
+        self.synth_scratch(coeffs, out, scratch, Synth::Dst3, true, "dst3")
+    }
+
+    /// [`DctPlan::dst3`] transforming `data` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice or scratch length differs from the plan size.
+    pub fn dst3_inplace(&self, data: &mut [f64], scratch: &mut DctScratch) {
+        self.synth_inplace(data, scratch, Synth::Dst3, true, "dst3")
+    }
+
+    fn synth_scratch(
+        &self,
+        coeffs: &[f64],
+        out: &mut [f64],
+        scratch: &mut DctScratch,
+        mode: Synth,
+        reversed: bool,
+        what: &str,
+    ) {
+        self.check(coeffs.len(), what);
+        self.check(out.len(), what);
+        self.check(scratch.len(), what);
+        if self.size == 1 {
+            out[0] = self.synth_size_one(coeffs[0], mode);
             return;
         }
-        // Pull `reversed` out of the scratch so `dct3_scratch` below can
-        // borrow the remaining (complex) workspace.
-        let mut reversed = std::mem::take(&mut scratch.reversed);
-        reversed[0] = 0.0; // sin(0) basis row; must not carry stale scratch
-        for u in 1..n {
-            reversed[u] = coeffs[n - u];
+        self.synth_load(coeffs, &mut scratch.freq, reversed);
+        self.fft.butterflies(&mut scratch.freq, true);
+        self.synth_store(&scratch.freq, out, mode);
+    }
+
+    fn synth_inplace(
+        &self,
+        data: &mut [f64],
+        scratch: &mut DctScratch,
+        mode: Synth,
+        reversed: bool,
+        what: &str,
+    ) {
+        self.check(data.len(), what);
+        self.check(scratch.len(), what);
+        if self.size == 1 {
+            data[0] = self.synth_size_one(data[0], mode);
+            return;
         }
-        self.dct3_scratch(&reversed, out, scratch);
-        scratch.reversed = reversed;
-        for (i, v) in out.iter_mut().enumerate() {
-            if i % 2 == 1 {
-                *v = -*v;
+        self.synth_load(data, &mut scratch.freq, reversed);
+        self.fft.butterflies(&mut scratch.freq, true);
+        self.synth_store(&scratch.freq, data, mode);
+    }
+
+    fn synth_size_one(&self, coeff: f64, mode: Synth) -> f64 {
+        match mode {
+            Synth::Idct2 => coeff,
+            // Same value, same order of multiplies as the historical
+            // idct2-then-scale pipeline: c · (N/2) with N = 1.
+            Synth::Dct3 => coeff * (self.size as f64 / 2.0),
+            Synth::Dst3 => 0.0,
+        }
+    }
+
+    /// Rebuilds the Hermitian FFT spectrum
+    /// `V[u] = e^{iπu/(2N)}·(X[u] − i·X[N−u])` (with `X[N] ≡ 0`) directly in
+    /// bit-reversed order, so the inverse butterflies run with no separate
+    /// permutation pass. With `reversed`, coefficients are read mirrored
+    /// (`X'[u] = X[N−u]`, `X'[0] = 0`) — the DST's coefficient reversal,
+    /// fused here instead of materialized in a second buffer.
+    fn synth_load(&self, coeffs: &[f64], freq: &mut [Complex], reversed: bool) {
+        let n = self.size;
+        if reversed {
+            for (slot, &ju) in freq.iter_mut().zip(self.fft.bit_rev_table()) {
+                let u = ju as usize;
+                *slot = if u == 0 {
+                    Complex::ZERO
+                } else {
+                    Complex::new(coeffs[n - u], -coeffs[u]) * self.inv_twiddles[u]
+                };
+            }
+        } else {
+            for (slot, &ju) in freq.iter_mut().zip(self.fft.bit_rev_table()) {
+                let u = ju as usize;
+                *slot = if u == 0 {
+                    Complex::from(coeffs[0])
+                } else {
+                    Complex::new(coeffs[u], -coeffs[n - u]) * self.inv_twiddles[u]
+                };
+            }
+        }
+    }
+
+    /// Unpacks the even/odd interleave while applying the mode's scaling:
+    /// every output performs the identical `re·(1/N)` (then `·N/2`, then
+    /// sign flip) multiply chain the historical separate passes performed.
+    fn synth_store(&self, freq: &[Complex], out: &mut [f64], mode: Synth) {
+        let n = self.size;
+        let inv_n = 1.0 / n as f64;
+        let half_n = n as f64 / 2.0;
+        match mode {
+            Synth::Idct2 => {
+                for i in 0..n / 2 {
+                    out[2 * i] = freq[i].re * inv_n;
+                    out[2 * i + 1] = freq[n - 1 - i].re * inv_n;
+                }
+            }
+            Synth::Dct3 => {
+                for i in 0..n / 2 {
+                    out[2 * i] = (freq[i].re * inv_n) * half_n;
+                    out[2 * i + 1] = (freq[n - 1 - i].re * inv_n) * half_n;
+                }
+            }
+            Synth::Dst3 => {
+                for i in 0..n / 2 {
+                    out[2 * i] = (freq[i].re * inv_n) * half_n;
+                    out[2 * i + 1] = -((freq[n - 1 - i].re * inv_n) * half_n);
+                }
             }
         }
     }
@@ -398,5 +737,171 @@ mod tests {
         let plan = DctPlan::new(4);
         assert_eq!(plan.len(), 4);
         assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn inplace_variants_are_bitwise_out_of_place() {
+        for &n in &[1usize, 2, 4, 16, 64] {
+            let plan = DctPlan::new(n);
+            let mut scratch = DctScratch::new(n);
+            let x = test_signal(n);
+            let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+            type Pair = (
+                fn(&DctPlan, &[f64], &mut [f64], &mut DctScratch),
+                fn(&DctPlan, &mut [f64], &mut DctScratch),
+            );
+            let cases: [Pair; 4] = [
+                (DctPlan::dct2_scratch, DctPlan::dct2_inplace),
+                (DctPlan::idct2_scratch, DctPlan::idct2_inplace),
+                (DctPlan::dct3_scratch, DctPlan::dct3_inplace),
+                (DctPlan::dst3_scratch, DctPlan::dst3_inplace),
+            ];
+            for (out_of_place, in_place) in cases {
+                let mut expect = vec![0.0; n];
+                out_of_place(&plan, &x, &mut expect, &mut scratch);
+                let mut data = x.clone();
+                in_place(&plan, &mut data, &mut scratch);
+                assert_eq!(bits(&expect), bits(&data), "n {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn strided_kernels_are_bitwise_gather_transform_scatter() {
+        // The strided entry points must reproduce, bit for bit, the
+        // historical bounce-buffer pipeline: gather the strided line,
+        // transform it contiguously, apply the elementwise scale pass,
+        // scatter it back.
+        for &n in &[1usize, 2, 8, 32, 128] {
+            let plan = DctPlan::new(n);
+            let mut scratch = DctScratch::new(n);
+            let (offset, stride) = (2usize, 5usize);
+            let len = offset + (n - 1) * stride + 3;
+            let base: Vec<f64> = (0..len).map(|i| (i as f64 * 0.31).sin() - 0.4).collect();
+            let gather =
+                |b: &[f64]| -> Vec<f64> { (0..n).map(|i| b[offset + i * stride]).collect() };
+            let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+            let scale = 0.37;
+
+            // dct2 (unscaled).
+            let mut line = gather(&base);
+            plan.dct2_inplace(&mut line, &mut scratch);
+            let mut strided = base.clone();
+            plan.dct2_strided(&mut strided, offset, stride, &mut scratch);
+            assert_eq!(bits(&line), bits(&gather(&strided)), "dct2 n {n}");
+
+            // dct3 and dst3, scale fused vs separate pass.
+            type Pair = (
+                fn(&DctPlan, &mut [f64], &mut DctScratch),
+                fn(&DctPlan, &mut [f64], usize, usize, f64, &mut DctScratch),
+            );
+            let cases: [(Pair, &str); 2] = [
+                ((DctPlan::dct3_inplace, DctPlan::dct3_strided), "dct3"),
+                ((DctPlan::dst3_inplace, DctPlan::dst3_strided), "dst3"),
+            ];
+            for ((contiguous, strided_fn), name) in cases {
+                let mut line = gather(&base);
+                contiguous(&plan, &mut line, &mut scratch);
+                for v in line.iter_mut() {
+                    *v *= scale;
+                }
+                let mut buf = base.clone();
+                strided_fn(&plan, &mut buf, offset, stride, scale, &mut scratch);
+                assert_eq!(bits(&line), bits(&gather(&buf)), "{name} n {n}");
+                // Untouched interstitial elements stay untouched.
+                for (i, (a, b)) in base.iter().zip(&buf).enumerate() {
+                    let on_line =
+                        i >= offset && (i - offset) % stride == 0 && (i - offset) / stride < n;
+                    if !on_line {
+                        assert_eq!(a.to_bits(), b.to_bits(), "{name} n {n} clobbered {i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn synthesis_stays_bitwise_compatible_with_unfused_pipeline() {
+        // The fused loads/stores must reproduce, bit for bit, the historical
+        // pipeline: spectrum rebuild in natural order, fft.inverse (with its
+        // separate 1/N pass), unpack, then scale/sign passes.
+        for &n in &[2usize, 8, 32, 128] {
+            let plan = DctPlan::new(n);
+            let coeffs = test_signal(n);
+            // Unfused dct2: Makhoul pack, full complex FFT (separate swap
+            // pass), complex post-twiddle taking the real part.
+            let mut packed = vec![Complex::ZERO; n];
+            for i in 0..n / 2 {
+                packed[i] = Complex::from(coeffs[2 * i]);
+                packed[n - 1 - i] = Complex::from(coeffs[2 * i + 1]);
+            }
+            plan.fft.forward(&mut packed);
+            let unfused_dct2: Vec<f64> = (0..n)
+                .map(|u| (packed[u] * plan.fwd_twiddles[u]).re)
+                .collect();
+            assert_eq!(
+                plan.dct2(&coeffs)
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                unfused_dct2.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "dct2 n {n}"
+            );
+            // Unfused idct2.
+            let mut buf = vec![Complex::ZERO; n];
+            buf[0] = Complex::from(coeffs[0]);
+            for u in 1..n {
+                let z = Complex::new(coeffs[u], -coeffs[n - u]);
+                buf[u] = z * plan.fwd_twiddles[u].conj();
+            }
+            plan.fft.inverse(&mut buf);
+            let mut unfused = vec![0.0; n];
+            for i in 0..n / 2 {
+                unfused[2 * i] = buf[i].re;
+                unfused[2 * i + 1] = buf[n - 1 - i].re;
+            }
+            assert_eq!(
+                plan.idct2(&coeffs)
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                unfused.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "idct2 n {n}"
+            );
+            // Unfused dct3 = idct2 then ×(N/2) pass.
+            let mut dct3_unfused = unfused.clone();
+            let scale = n as f64 / 2.0;
+            for v in dct3_unfused.iter_mut() {
+                *v *= scale;
+            }
+            assert_eq!(
+                plan.dct3(&coeffs)
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                dct3_unfused.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "dct3 n {n}"
+            );
+            // Unfused dst3 = reversed coefficients through dct3, then sign
+            // flips on odd outputs.
+            let mut reversed = vec![0.0; n];
+            for u in 1..n {
+                reversed[u] = coeffs[n - u];
+            }
+            let mut dst3_unfused = plan.dct3(&reversed);
+            for (i, v) in dst3_unfused.iter_mut().enumerate() {
+                if i % 2 == 1 {
+                    *v = -*v;
+                }
+            }
+            assert_eq!(
+                plan.dst3(&coeffs)
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                dst3_unfused.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "dst3 n {n}"
+            );
+        }
     }
 }

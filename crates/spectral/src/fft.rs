@@ -3,13 +3,22 @@ use std::f64::consts::PI;
 
 /// A reusable plan for radix-2 complex FFTs of one fixed power-of-two size.
 ///
-/// The plan precomputes the bit-reversal permutation and the forward twiddle
-/// factors once; [`FftPlan::forward`] and [`FftPlan::inverse`] then run the
-/// classic iterative Cooley–Tukey butterfly in place.
+/// The plan precomputes the bit-reversal permutation and both twiddle tables
+/// (forward `e^{-2πi·k/N}` and its exact conjugate for the inverse) once;
+/// [`FftPlan::forward`] and [`FftPlan::inverse`] then run the classic
+/// iterative Cooley–Tukey butterfly in place with no per-butterfly branch or
+/// bounds check.
 ///
 /// The transform convention is the unnormalized DFT
 /// `X[k] = Σ_n x[n]·e^{-2πi·k·n/N}`; the inverse divides by `N`, so
 /// `inverse(forward(x)) == x`.
+///
+/// Real-valued signals get two specialized entry points that are bit-for-bit
+/// compatible with the complex ones: [`FftPlan::forward_real`] fuses the
+/// real→complex widening with the bit-reversal gather (no separate permute
+/// pass), and [`FftPlan::inverse_hermitian`] synthesizes only the real
+/// output a Hermitian-symmetric spectrum can produce, fusing the `1/N`
+/// normalization into the final store and discarding the imaginary halves.
 ///
 /// # Examples
 ///
@@ -28,6 +37,10 @@ pub struct FftPlan {
     bit_rev: Vec<u32>,
     /// Forward twiddles `e^{-2πi·k/N}` for `k < N/2`.
     twiddles: Vec<Complex>,
+    /// Inverse twiddles — exact conjugates of `twiddles` (conjugation only
+    /// negates the imaginary part, so the tables agree bit-for-bit with the
+    /// per-call `conj()` they replace).
+    inv_twiddles: Vec<Complex>,
 }
 
 impl FftPlan {
@@ -49,13 +62,15 @@ impl FftPlan {
         if size == 1 {
             bit_rev[0] = 0;
         }
-        let twiddles = (0..size / 2)
+        let twiddles: Vec<Complex> = (0..size / 2)
             .map(|k| Complex::from_polar_unit(-2.0 * PI * k as f64 / size as f64))
             .collect();
+        let inv_twiddles = twiddles.iter().map(|w| w.conj()).collect();
         FftPlan {
             size,
             bit_rev,
             twiddles,
+            inv_twiddles,
         }
     }
 
@@ -73,13 +88,22 @@ impl FftPlan {
         false
     }
 
+    /// The bit-reversal permutation table (`data[i]` pre-butterfly holds
+    /// `x[bit_rev[i]]`). The DCT layer fuses this into its own repacking.
+    #[inline]
+    pub(crate) fn bit_rev_table(&self) -> &[u32] {
+        &self.bit_rev
+    }
+
     /// In-place forward DFT.
     ///
     /// # Panics
     ///
     /// Panics if `data.len()` differs from the plan size.
     pub fn forward(&self, data: &mut [Complex]) {
-        self.transform(data, false);
+        self.check_len(data.len());
+        self.permute(data);
+        self.butterflies(data, false);
     }
 
     /// In-place inverse DFT (including the `1/N` normalization).
@@ -88,51 +112,147 @@ impl FftPlan {
     ///
     /// Panics if `data.len()` differs from the plan size.
     pub fn inverse(&self, data: &mut [Complex]) {
-        self.transform(data, true);
+        self.inverse_unscaled(data);
         let scale = 1.0 / self.size as f64;
         for z in data.iter_mut() {
             *z = z.scale(scale);
         }
     }
 
-    fn transform(&self, data: &mut [Complex], invert: bool) {
-        assert_eq!(
-            data.len(),
-            self.size,
-            "FFT buffer length {} differs from plan size {}",
-            data.len(),
-            self.size
-        );
-        let n = self.size;
-        if n == 1 {
-            return;
+    /// In-place inverse DFT *without* the `1/N` normalization, for callers
+    /// that fuse the scaling into their own post-pass (the DCT/DST synthesis
+    /// kernels). `inverse` ≡ `inverse_unscaled` followed by a `1/N` scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the plan size.
+    pub fn inverse_unscaled(&self, data: &mut [Complex]) {
+        self.check_len(data.len());
+        self.permute(data);
+        self.butterflies(data, true);
+    }
+
+    /// Forward DFT of a real signal, writing the complex spectrum to `out`.
+    ///
+    /// Bit-for-bit identical to widening `input` into a zero-imaginary
+    /// complex buffer and calling [`FftPlan::forward`], but the widening is
+    /// fused with the bit-reversal permutation into a single gather, so the
+    /// separate swap pass (and its round trip over the buffer) disappears.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice length differs from the plan size.
+    pub fn forward_real(&self, input: &[f64], out: &mut [Complex]) {
+        self.check_len(input.len());
+        self.check_len(out.len());
+        for (slot, &src) in out.iter_mut().zip(&self.bit_rev) {
+            *slot = Complex::from(input[src as usize]);
         }
-        // Bit-reversal permutation.
-        for i in 0..n {
+        self.butterflies(out, false);
+    }
+
+    /// Inverse DFT of a Hermitian-symmetric spectrum, writing the real
+    /// signal to `out` with the `1/N` normalization fused into the store.
+    ///
+    /// For a spectrum satisfying `X[N−k] = conj(X[k])` the inverse is purely
+    /// real, so only the real halves are normalized and stored — each output
+    /// carries the identical `re · (1/N)` multiply [`FftPlan::inverse`]
+    /// performs, making the result bit-compatible with
+    /// `inverse(spectrum)[i].re`. `spectrum` is consumed as workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice length differs from the plan size.
+    pub fn inverse_hermitian(&self, spectrum: &mut [Complex], out: &mut [f64]) {
+        self.check_len(spectrum.len());
+        self.check_len(out.len());
+        self.permute(spectrum);
+        self.butterflies(spectrum, true);
+        let inv_n = 1.0 / self.size as f64;
+        for (o, z) in out.iter_mut().zip(spectrum.iter()) {
+            *o = z.re * inv_n;
+        }
+    }
+
+    #[inline]
+    fn check_len(&self, len: usize) {
+        assert_eq!(
+            len, self.size,
+            "FFT buffer length {} differs from plan size {}",
+            len, self.size
+        );
+    }
+
+    /// The bit-reversal swap pass (self-inverse permutation).
+    fn permute(&self, data: &mut [Complex]) {
+        for i in 0..self.size {
             let j = self.bit_rev[i] as usize;
             if i < j {
                 data.swap(i, j);
             }
         }
-        // Iterative butterflies. Twiddles for stage of half-size `half` are
-        // the precomputed table strided by n/(2*half).
+    }
+
+    /// Iterative butterfly passes over bit-reversed data. Twiddles for the
+    /// stage of half-size `half` are the chosen table strided by
+    /// `n/(2·half)`; the forward/inverse selection is a single table pick
+    /// hoisted out of the loops, and the `split_at_mut`/`zip` structure lets
+    /// the compiler drop every bounds check. Butterflies touch disjoint
+    /// pairs, so this ordering is bit-identical to any other.
+    ///
+    /// The first two stages run dedicated loops: their blocks hold one or
+    /// two butterflies, so the generic triple-iterator setup costs more than
+    /// the arithmetic it drives. The specialized loops perform the identical
+    /// multiply/add sequence per butterfly — including the multiplies by the
+    /// `(1, −0)` twiddle, which must not be skipped or signed zeros would
+    /// change — so every output bit matches the generic pass.
+    pub(crate) fn butterflies(&self, data: &mut [Complex], invert: bool) {
+        let n = self.size;
+        let tw: &[Complex] = if invert {
+            &self.inv_twiddles
+        } else {
+            &self.twiddles
+        };
         let mut half = 1;
+        if n >= 2 {
+            let w0 = tw[0];
+            for pair in data.chunks_exact_mut(2) {
+                let t = pair[1] * w0;
+                let x = pair[0];
+                pair[0] = x + t;
+                pair[1] = x - t;
+            }
+            half = 2;
+        }
+        if n >= 4 {
+            let w0 = tw[0];
+            let w1 = tw[n / 4];
+            for block in data.chunks_exact_mut(4) {
+                let t0 = block[2] * w0;
+                let x0 = block[0];
+                block[0] = x0 + t0;
+                block[2] = x0 - t0;
+                let t1 = block[3] * w1;
+                let x1 = block[1];
+                block[1] = x1 + t1;
+                block[3] = x1 - t1;
+            }
+            half = 4;
+        }
         while half < n {
             let stride = n / (2 * half);
-            let mut start = 0;
-            while start < n {
-                for k in 0..half {
-                    let w = if invert {
-                        self.twiddles[k * stride].conj()
-                    } else {
-                        self.twiddles[k * stride]
-                    };
-                    let a = data[start + k];
-                    let b = data[start + k + half] * w;
-                    data[start + k] = a + b;
-                    data[start + k + half] = a - b;
+            for block in data.chunks_exact_mut(2 * half) {
+                let (lo, hi) = block.split_at_mut(half);
+                for ((a, b), w) in lo
+                    .iter_mut()
+                    .zip(hi.iter_mut())
+                    .zip(tw.iter().step_by(stride))
+                {
+                    let t = *b * *w;
+                    let x = *a;
+                    *a = x + t;
+                    *b = x - t;
                 }
-                start += 2 * half;
             }
             half *= 2;
         }
@@ -241,5 +361,125 @@ mod tests {
         assert_eq!(data[0], Complex::new(3.0, 4.0));
         assert_eq!(plan.len(), 1);
         assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn inverse_twiddles_are_exact_conjugates() {
+        let plan = FftPlan::new(64);
+        for (w, iw) in plan.twiddles.iter().zip(&plan.inv_twiddles) {
+            assert_eq!(w.re.to_bits(), iw.re.to_bits());
+            assert_eq!((-w.im).to_bits(), iw.im.to_bits());
+        }
+    }
+
+    /// The all-generic stage loop the specialized first stages replaced;
+    /// kept as the oracle for bit-equality of the fast path.
+    fn butterflies_generic(plan: &FftPlan, data: &mut [Complex], invert: bool) {
+        let n = plan.size;
+        let tw: &[Complex] = if invert {
+            &plan.inv_twiddles
+        } else {
+            &plan.twiddles
+        };
+        let mut half = 1;
+        while half < n {
+            let stride = n / (2 * half);
+            for block in data.chunks_exact_mut(2 * half) {
+                let (lo, hi) = block.split_at_mut(half);
+                for ((a, b), w) in lo
+                    .iter_mut()
+                    .zip(hi.iter_mut())
+                    .zip(tw.iter().step_by(stride))
+                {
+                    let t = *b * *w;
+                    let x = *a;
+                    *a = x + t;
+                    *b = x - t;
+                }
+            }
+            half *= 2;
+        }
+    }
+
+    #[test]
+    fn specialized_first_stages_are_bitwise_generic() {
+        for &n in &[1usize, 2, 4, 8, 32, 256] {
+            let plan = FftPlan::new(n);
+            // Include signed zeros and denormal-ish magnitudes: the exact
+            // cases where skipping a (1, −0) twiddle multiply would differ.
+            let input: Vec<Complex> = (0..n)
+                .map(|i| match i % 5 {
+                    0 => Complex::new(0.0, -0.0),
+                    1 => Complex::new(-0.0, 0.0),
+                    _ => Complex::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos() * 1e-300),
+                })
+                .collect();
+            for invert in [false, true] {
+                let mut fast = input.clone();
+                plan.butterflies(&mut fast, invert);
+                let mut slow = input.clone();
+                butterflies_generic(&plan, &mut slow, invert);
+                for (a, b) in fast.iter().zip(&slow) {
+                    assert_eq!(a.re.to_bits(), b.re.to_bits(), "n {n} invert {invert}");
+                    assert_eq!(a.im.to_bits(), b.im.to_bits(), "n {n} invert {invert}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forward_real_is_bitwise_forward_of_widened_input() {
+        for &n in &[1usize, 2, 8, 32, 128] {
+            let plan = FftPlan::new(n);
+            let input: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin() - 0.3).collect();
+            let mut widened: Vec<Complex> = input.iter().map(|&v| Complex::from(v)).collect();
+            plan.forward(&mut widened);
+            let mut real = vec![Complex::ZERO; n];
+            plan.forward_real(&input, &mut real);
+            for (a, b) in widened.iter().zip(&real) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "n {n}");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "n {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_hermitian_is_bitwise_real_part_of_inverse() {
+        for &n in &[1usize, 2, 8, 32, 128] {
+            let plan = FftPlan::new(n);
+            // Hermitian spectrum of a real signal, via forward_real.
+            let signal: Vec<f64> = (0..n).map(|i| (i as f64 * 1.1).cos() + 0.5).collect();
+            let mut spectrum = vec![Complex::ZERO; n];
+            plan.forward_real(&signal, &mut spectrum);
+            let mut full = spectrum.clone();
+            plan.inverse(&mut full);
+            let mut real_out = vec![0.0; n];
+            plan.inverse_hermitian(&mut spectrum, &mut real_out);
+            for (a, b) in full.iter().zip(&real_out) {
+                assert_eq!(a.re.to_bits(), b.to_bits(), "n {n}");
+            }
+            // And it actually round-trips to the signal.
+            for (a, b) in real_out.iter().zip(&signal) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_unscaled_is_inverse_without_normalization() {
+        let n = 32;
+        let plan = FftPlan::new(n);
+        let input: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64).cos()))
+            .collect();
+        let mut scaled = input.clone();
+        plan.inverse(&mut scaled);
+        let mut unscaled = input.clone();
+        plan.inverse_unscaled(&mut unscaled);
+        let inv_n = 1.0 / n as f64;
+        for (a, b) in scaled.iter().zip(&unscaled) {
+            assert_eq!(a.re.to_bits(), (b.re * inv_n).to_bits());
+            assert_eq!(a.im.to_bits(), (b.im * inv_n).to_bits());
+        }
     }
 }

@@ -12,6 +12,8 @@
 //! * [`FftPlan`] — iterative radix-2 complex FFT with precomputed twiddles.
 //! * [`DctPlan`] — DCT-II / DCT-III / DST-III via Makhoul's N-point-FFT
 //!   repacking, plus exact inverses.
+//! * [`SpectralPlan`] — process-wide per-size cache of shared [`DctPlan`]s,
+//!   so twiddle/cosine tables are computed once per grid size.
 //! * [`Transform2d`] — separable two-dimensional transforms in the exact
 //!   basis mix the Poisson solver needs (cos·cos, sin·cos, cos·sin).
 //! * [`mod@reference`] — naive `O(N²)` reference transforms used by the tests.
@@ -47,12 +49,14 @@
 mod complex;
 mod dct;
 mod fft;
+mod plan;
 pub mod reference;
 mod transform2d;
 
 pub use complex::Complex;
 pub use dct::{DctPlan, DctScratch};
 pub use fft::FftPlan;
+pub use plan::SpectralPlan;
 pub use transform2d::Transform2d;
 
 /// Returns `true` when `n` is a power of two (and non-zero).

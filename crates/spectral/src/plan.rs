@@ -1,0 +1,141 @@
+//! Process-wide cache of [`DctPlan`]s, one per transform length.
+//!
+//! Plan construction is `O(N)` memory but `O(N)` libm trigonometry calls —
+//! comfortably the most expensive part of standing up a transform. The
+//! placer builds three `Transform2d` objects per density grid (density,
+//! potential, field) and rebuilds the grid at every GP stage, so without a
+//! cache the same twiddle/cosine tables are recomputed six times per stage.
+//! [`SpectralPlan::get`] computes each size's tables exactly once per
+//! process and hands out shared references afterwards.
+//!
+//! Sharing cannot change numerics: `DctPlan::new` is deterministic, so a
+//! cached plan is bit-identical to a freshly built one — the cache only
+//! removes redundant construction work.
+
+use crate::DctPlan;
+use std::ops::Deref;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// A shared, immutable [`DctPlan`] from the process-wide per-size cache.
+///
+/// Dereferences to [`DctPlan`], so every transform entry point is available
+/// directly. Cloning is an `Arc` bump.
+///
+/// # Examples
+///
+/// ```
+/// use eplace_spectral::SpectralPlan;
+///
+/// let a = SpectralPlan::get(64);
+/// let b = SpectralPlan::get(64);
+/// assert!(a.shares_tables_with(&b)); // same tables, built once
+/// assert_eq!(a.len(), 64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpectralPlan {
+    inner: Arc<DctPlan>,
+}
+
+/// The cache itself. Transform sizes are small powers of two (the density
+/// grid caps at a few hundred bins per axis), so a linear scan over a short
+/// vector beats a map and the cache never needs eviction.
+type PlanCache = Mutex<Vec<(usize, Arc<DctPlan>)>>;
+static CACHE: OnceLock<PlanCache> = OnceLock::new();
+
+impl SpectralPlan {
+    /// The shared plan for transforms of length `size`, building (and
+    /// caching) it on first request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not a power of two.
+    pub fn get(size: usize) -> Self {
+        let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
+        let mut guard = cache.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some((_, plan)) = guard.iter().find(|(s, _)| *s == size) {
+            return SpectralPlan {
+                inner: Arc::clone(plan),
+            };
+        }
+        let plan = Arc::new(DctPlan::new(size));
+        guard.push((size, Arc::clone(&plan)));
+        SpectralPlan { inner: plan }
+    }
+
+    /// `true` when `self` and `other` share one cached table set.
+    pub fn shares_tables_with(&self, other: &SpectralPlan) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Number of distinct sizes currently cached (diagnostics/tests).
+    pub fn cached_sizes() -> usize {
+        CACHE
+            .get_or_init(|| Mutex::new(Vec::new()))
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+}
+
+impl Deref for SpectralPlan {
+    type Target = DctPlan;
+
+    fn deref(&self) -> &DctPlan {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_size_yields_shared_plan() {
+        let a = SpectralPlan::get(32);
+        let b = SpectralPlan::get(32);
+        assert!(a.shares_tables_with(&b));
+        assert!(a.shares_tables_with(&a.clone()));
+    }
+
+    #[test]
+    fn different_sizes_yield_distinct_plans() {
+        let a = SpectralPlan::get(16);
+        let b = SpectralPlan::get(8);
+        assert!(!a.shares_tables_with(&b));
+        assert_eq!(a.len(), 16);
+        assert_eq!(b.len(), 8);
+    }
+
+    #[test]
+    fn cached_plan_is_bitwise_identical_to_fresh_plan() {
+        let cached = SpectralPlan::get(64);
+        let fresh = DctPlan::new(64);
+        let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.31).sin()).collect();
+        let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&cached.dct2(&x)), bits(&fresh.dct2(&x)));
+        assert_eq!(bits(&cached.dst3(&x)), bits(&fresh.dst3(&x)));
+    }
+
+    #[test]
+    fn cache_grows_monotonically() {
+        let before = SpectralPlan::cached_sizes();
+        let _ = SpectralPlan::get(256);
+        let mid = SpectralPlan::cached_sizes();
+        let _ = SpectralPlan::get(256);
+        assert!(mid >= before.max(1));
+        assert_eq!(SpectralPlan::cached_sizes(), mid);
+    }
+
+    #[test]
+    fn concurrent_gets_converge_to_one_plan() {
+        let plans: Vec<SpectralPlan> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| SpectralPlan::get(128)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for p in &plans[1..] {
+            assert!(plans[0].shares_tables_with(p));
+        }
+    }
+}

@@ -1,6 +1,6 @@
 use crate::dct::DctScratch;
-use crate::DctPlan;
-use eplace_exec::{for_each_unit, ExecConfig};
+use crate::{DctPlan, SpectralPlan};
+use eplace_exec::{for_each_unit, for_each_unit_pooled, ExecConfig};
 use eplace_obs::Obs;
 
 /// Which 1-D kernel a pass applies along an axis.
@@ -20,10 +20,23 @@ enum Kernel {
 /// * synthesis [`Transform2d::dst3_x`] — field ξx (`sin` in x, `cos` in y),
 /// * synthesis [`Transform2d::dst3_y`] — field ξy (`cos` in x, `sin` in y).
 ///
-/// The object owns scratch buffers (including the [`DctScratch`] FFT
-/// workspace), so calls are allocation-free after construction; this matters
-/// because the placer transforms the grid four times per optimizer
+/// The per-axis plans come from the process-wide [`SpectralPlan`] cache, so
+/// constructing a `Transform2d` for an already-seen size costs two `Arc`
+/// bumps instead of rebuilding twiddle tables. The object owns all scratch
+/// (including the [`DctScratch`] FFT workspace and, for parallel runs, a
+/// per-worker scratch pool), so steady-state calls are allocation-free; this
+/// matters because the placer transforms the grid four times per optimizer
 /// iteration.
+///
+/// Rows transform in place; columns transform directly through the strided
+/// kernel entry points ([`DctPlan::dct2_strided`] and friends) — the same
+/// float sequence the historical gather → transform → scatter produced,
+/// without the bounce buffer or its two extra passes per column.
+///
+/// The synthesis transforms also come in `*_scaled` variants that fuse the
+/// caller's elementwise post-scale (the Poisson solver's normalization)
+/// into the final store, saving one full-grid pass per synthesis while
+/// computing the identical `v·scale` products.
 ///
 /// With [`Transform2d::set_exec`] the row pass, both transposes, and the
 /// column pass run on scoped worker threads. Every parallel unit (one row or
@@ -49,12 +62,16 @@ enum Kernel {
 pub struct Transform2d {
     nx: usize,
     ny: usize,
-    plan_x: DctPlan,
-    plan_y: DctPlan,
-    row_buf: Vec<f64>,
+    plan_x: SpectralPlan,
+    plan_y: SpectralPlan,
+    /// Column-major staging for the parallel column pass.
     transpose_buf: Vec<f64>,
     scratch_x: DctScratch,
     scratch_y: DctScratch,
+    /// Per-worker scratch pools for the parallel row/column passes,
+    /// persistent across calls.
+    pool_x: Vec<DctScratch>,
+    pool_y: Vec<DctScratch>,
     exec: ExecConfig,
     obs: Obs,
 }
@@ -70,12 +87,13 @@ impl Transform2d {
         Transform2d {
             nx,
             ny,
-            plan_x: DctPlan::new(nx),
-            plan_y: DctPlan::new(ny),
-            row_buf: vec![0.0; nx.max(ny)],
-            transpose_buf: vec![0.0; nx * ny],
+            plan_x: SpectralPlan::get(nx),
+            plan_y: SpectralPlan::get(ny),
+            transpose_buf: Vec::new(),
             scratch_x: DctScratch::new(nx),
             scratch_y: DctScratch::new(ny),
+            pool_x: Vec::new(),
+            pool_y: Vec::new(),
             exec: ExecConfig::serial(),
             obs: Obs::disabled(),
         }
@@ -124,7 +142,7 @@ impl Transform2d {
     ///
     /// Panics if `data.len() != nx·ny`.
     pub fn dct2(&mut self, data: &mut [f64]) {
-        self.apply(data, Kernel::Dct2, Kernel::Dct2);
+        self.apply(data, Kernel::Dct2, Kernel::Dct2, 1.0);
     }
 
     /// 2-D DCT-III synthesis in place (u=0 / v=0 terms carry the usual ½
@@ -134,7 +152,18 @@ impl Transform2d {
     ///
     /// Panics if `data.len() != nx·ny`.
     pub fn dct3(&mut self, data: &mut [f64]) {
-        self.apply(data, Kernel::Dct3, Kernel::Dct3);
+        self.apply(data, Kernel::Dct3, Kernel::Dct3, 1.0);
+    }
+
+    /// [`Transform2d::dct3`] with an elementwise `·scale` fused into the
+    /// final store: bitwise identical to `dct3` followed by
+    /// `for v in data { *v *= scale }`, one full-grid pass cheaper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != nx·ny`.
+    pub fn dct3_scaled(&mut self, data: &mut [f64], scale: f64) {
+        self.apply(data, Kernel::Dct3, Kernel::Dct3, scale);
     }
 
     /// Mixed synthesis, sine along x and cosine along y:
@@ -145,7 +174,17 @@ impl Transform2d {
     ///
     /// Panics if `data.len() != nx·ny`.
     pub fn dst3_x(&mut self, data: &mut [f64]) {
-        self.apply(data, Kernel::Dst3, Kernel::Dct3);
+        self.apply(data, Kernel::Dst3, Kernel::Dct3, 1.0);
+    }
+
+    /// [`Transform2d::dst3_x`] with an elementwise `·scale` fused into the
+    /// final store (see [`Transform2d::dct3_scaled`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != nx·ny`.
+    pub fn dst3_x_scaled(&mut self, data: &mut [f64], scale: f64) {
+        self.apply(data, Kernel::Dst3, Kernel::Dct3, scale);
     }
 
     /// Mixed synthesis, cosine along x and sine along y (mirror of
@@ -155,10 +194,20 @@ impl Transform2d {
     ///
     /// Panics if `data.len() != nx·ny`.
     pub fn dst3_y(&mut self, data: &mut [f64]) {
-        self.apply(data, Kernel::Dct3, Kernel::Dst3);
+        self.apply(data, Kernel::Dct3, Kernel::Dst3, 1.0);
     }
 
-    fn apply(&mut self, data: &mut [f64], kernel_x: Kernel, kernel_y: Kernel) {
+    /// [`Transform2d::dst3_y`] with an elementwise `·scale` fused into the
+    /// final store (see [`Transform2d::dct3_scaled`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != nx·ny`.
+    pub fn dst3_y_scaled(&mut self, data: &mut [f64], scale: f64) {
+        self.apply(data, Kernel::Dct3, Kernel::Dst3, scale);
+    }
+
+    fn apply(&mut self, data: &mut [f64], kernel_x: Kernel, kernel_y: Kernel, scale: f64) {
         assert_eq!(
             data.len(),
             self.nx * self.ny,
@@ -170,62 +219,53 @@ impl Transform2d {
         let _span = self.obs.span("spectral_transform");
         self.obs.add("spectral_transforms", 1);
         if self.exec.is_serial() {
-            self.apply_serial(data, kernel_x, kernel_y);
+            self.apply_serial(data, kernel_x, kernel_y, scale);
         } else {
-            self.apply_parallel(data, kernel_x, kernel_y);
+            self.apply_parallel(data, kernel_x, kernel_y, scale);
         }
     }
 
-    /// The single-threaded path, using the object-owned scratch.
-    fn apply_serial(&mut self, data: &mut [f64], kernel_x: Kernel, kernel_y: Kernel) {
-        let (nx, ny) = (self.nx, self.ny);
-        // Pass 1: rows (x-direction), contiguous.
-        for iy in 0..ny {
-            let row = &mut data[iy * nx..(iy + 1) * nx];
-            Self::run_kernel(
-                &self.plan_x,
-                kernel_x,
-                row,
-                &mut self.row_buf[..nx],
-                &mut self.scratch_x,
-            );
+    /// The single-threaded path, using the object-owned scratch. Rows
+    /// transform in place; each column transforms through the strided
+    /// kernels, with the caller's `scale` fused into the final store.
+    fn apply_serial(&mut self, data: &mut [f64], kernel_x: Kernel, kernel_y: Kernel, scale: f64) {
+        let nx = self.nx;
+        for row in data.chunks_exact_mut(nx) {
+            Self::run_kernel(&self.plan_x, kernel_x, row, &mut self.scratch_x);
         }
-        // Pass 2: columns (y-direction) via transpose.
-        for iy in 0..ny {
-            for ix in 0..nx {
-                self.transpose_buf[ix * ny + iy] = data[iy * nx + ix];
-            }
-        }
+        debug_assert!(
+            kernel_y != Kernel::Dct2 || scale == 1.0,
+            "forward pass never scales"
+        );
         for ix in 0..nx {
-            let col = &mut self.transpose_buf[ix * ny..(ix + 1) * ny];
-            Self::run_kernel(
-                &self.plan_y,
-                kernel_y,
-                col,
-                &mut self.row_buf[..ny],
-                &mut self.scratch_y,
-            );
-        }
-        for iy in 0..ny {
-            for ix in 0..nx {
-                data[iy * nx + ix] = self.transpose_buf[ix * ny + iy];
+            match kernel_y {
+                Kernel::Dct2 => self.plan_y.dct2_strided(data, ix, nx, &mut self.scratch_y),
+                Kernel::Dct3 => self
+                    .plan_y
+                    .dct3_strided(data, ix, nx, scale, &mut self.scratch_y),
+                Kernel::Dst3 => self
+                    .plan_y
+                    .dst3_strided(data, ix, nx, scale, &mut self.scratch_y),
             }
         }
     }
 
     /// The multi-threaded path. Each parallel unit (row, column, or
     /// transpose line) is written by exactly one worker with its own
-    /// scratch, so the output is bitwise identical to the serial path.
-    fn apply_parallel(&mut self, data: &mut [f64], kernel_x: Kernel, kernel_y: Kernel) {
+    /// pooled scratch, so the output is bitwise identical to the serial
+    /// path and steady-state calls are allocation-free.
+    fn apply_parallel(&mut self, data: &mut [f64], kernel_x: Kernel, kernel_y: Kernel, scale: f64) {
         let (nx, ny) = (self.nx, self.ny);
+        self.transpose_buf.resize(nx * ny, 0.0);
         let exec = self.exec;
         let plan_x = &self.plan_x;
-        for_each_unit(
+        for_each_unit_pooled(
             &exec,
             data,
             nx,
-            || (vec![0.0; nx], DctScratch::new(nx)),
-            |_, row, (buf, scratch)| Self::run_kernel(plan_x, kernel_x, row, buf, scratch),
+            &mut self.pool_x,
+            || DctScratch::new(nx),
+            |_, row, scratch| Self::run_kernel(plan_x, kernel_x, row, scratch),
         );
         {
             let src: &[f64] = data;
@@ -242,13 +282,17 @@ impl Transform2d {
             );
         }
         let plan_y = &self.plan_y;
-        for_each_unit(
+        for_each_unit_pooled(
             &exec,
             &mut self.transpose_buf,
             ny,
-            || (vec![0.0; ny], DctScratch::new(ny)),
-            |_, col, (buf, scratch)| Self::run_kernel(plan_y, kernel_y, col, buf, scratch),
+            &mut self.pool_y,
+            || DctScratch::new(ny),
+            |_, col, scratch| Self::run_kernel(plan_y, kernel_y, col, scratch),
         );
+        // Transpose back with the caller's scale fused into the copy:
+        // `v·scale` is the identical product the separate post-pass would
+        // compute, and `·1.0` is a bitwise identity for the unscaled calls.
         let src: &[f64] = &self.transpose_buf;
         for_each_unit(
             &exec,
@@ -257,25 +301,18 @@ impl Transform2d {
             || (),
             |iy, row, _| {
                 for (ix, v) in row.iter_mut().enumerate() {
-                    *v = src[ix * ny + iy];
+                    *v = src[ix * ny + iy] * scale;
                 }
             },
         );
     }
 
-    fn run_kernel(
-        plan: &DctPlan,
-        kernel: Kernel,
-        line: &mut [f64],
-        buf: &mut [f64],
-        scratch: &mut DctScratch,
-    ) {
+    fn run_kernel(plan: &DctPlan, kernel: Kernel, line: &mut [f64], scratch: &mut DctScratch) {
         match kernel {
-            Kernel::Dct2 => plan.dct2_scratch(line, buf, scratch),
-            Kernel::Dct3 => plan.dct3_scratch(line, buf, scratch),
-            Kernel::Dst3 => plan.dst3_scratch(line, buf, scratch),
+            Kernel::Dct2 => plan.dct2_inplace(line, scratch),
+            Kernel::Dct3 => plan.dct3_inplace(line, scratch),
+            Kernel::Dst3 => plan.dst3_inplace(line, scratch),
         }
-        line.copy_from_slice(buf);
     }
 }
 
@@ -404,6 +441,17 @@ mod tests {
     }
 
     #[test]
+    fn plans_are_shared_between_instances() {
+        let a = Transform2d::new(16, 32);
+        let b = Transform2d::new(16, 32);
+        assert!(a.plan_x.shares_tables_with(&b.plan_x));
+        assert!(a.plan_y.shares_tables_with(&b.plan_y));
+        // Square grids share one plan across both axes.
+        let c = Transform2d::new(32, 32);
+        assert!(c.plan_x.shares_tables_with(&c.plan_y));
+    }
+
+    #[test]
     fn parallel_transforms_are_bitwise_serial() {
         // Rows/columns are disjoint parallel units, so any thread count must
         // reproduce the serial bits exactly — including non-square grids.
@@ -430,5 +478,49 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn scaled_syntheses_are_bitwise_transform_then_scale() {
+        let (nx, ny) = (16usize, 8usize);
+        let data = grid(nx, ny);
+        let scale = 0.0625 * 0.73;
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        for threads in [1usize, 4] {
+            let exec = eplace_exec::ExecConfig::with_threads(threads);
+            type Pair = (
+                fn(&mut Transform2d, &mut [f64]),
+                fn(&mut Transform2d, &mut [f64], f64),
+            );
+            let cases: [(Pair, &str); 3] = [
+                ((Transform2d::dct3, Transform2d::dct3_scaled), "dct3"),
+                ((Transform2d::dst3_x, Transform2d::dst3_x_scaled), "dst3_x"),
+                ((Transform2d::dst3_y, Transform2d::dst3_y_scaled), "dst3_y"),
+            ];
+            for ((unscaled, scaled), name) in cases {
+                let mut t = Transform2d::new(nx, ny).with_exec(exec);
+                let mut expect = data.clone();
+                unscaled(&mut t, &mut expect);
+                for v in expect.iter_mut() {
+                    *v *= scale;
+                }
+                let mut fused = data.clone();
+                scaled(&mut t, &mut fused, scale);
+                assert_eq!(bits(&expect), bits(&fused), "{name} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_calls_reuse_scratch_pools() {
+        let mut t = Transform2d::new(16, 16).with_exec(eplace_exec::ExecConfig::with_threads(4));
+        let mut w = grid(16, 16);
+        t.dct2(&mut w);
+        let (px, py) = (t.pool_x.len(), t.pool_y.len());
+        assert!(px > 0 && py > 0);
+        t.dct3(&mut w);
+        t.dst3_x(&mut w);
+        assert_eq!(t.pool_x.len(), px);
+        assert_eq!(t.pool_y.len(), py);
     }
 }

@@ -1,5 +1,5 @@
 use crate::SmoothWirelength;
-use eplace_exec::{deterministic_chunks, map_chunks, ExecConfig};
+use eplace_exec::{deterministic_chunks, for_each_chunk_pooled, ExecConfig};
 use eplace_geometry::Point;
 use eplace_netlist::{Design, Net};
 use eplace_obs::Obs;
@@ -117,6 +117,36 @@ impl NetScratch {
     }
 }
 
+/// Pooled per-chunk state for the parallel evaluation: one worker scratch
+/// plus the chunk's partial gradient vector and running total. The pool
+/// lives on the model, so steady-state gradient calls allocate nothing.
+#[derive(Debug, Clone)]
+struct WaChunkScratch {
+    scratch: NetScratch,
+    grad: Vec<Point>,
+    total: f64,
+}
+
+impl WaChunkScratch {
+    fn new(max_degree: usize) -> Self {
+        WaChunkScratch {
+            scratch: NetScratch::with_degree(max_degree),
+            grad: Vec::new(),
+            total: 0.0,
+        }
+    }
+
+    /// Prepares for a fresh chunk: zeroes the total and sizes/zeroes the
+    /// gradient accumulator (`None` when no gradient is wanted), exactly
+    /// reproducing a freshly allocated chunk state. `NetScratch` itself
+    /// needs no reset — every entry is written before it is read.
+    fn reset(&mut self, slots: Option<usize>) {
+        self.total = 0.0;
+        self.grad.clear();
+        self.grad.resize(slots.unwrap_or(0), Point::ORIGIN);
+    }
+}
+
 /// The weighted-average (WA) smooth wirelength model (paper Eq. 3).
 ///
 /// Per net and axis the max (min) coordinate is approximated by
@@ -147,6 +177,8 @@ impl NetScratch {
 pub struct WaModel {
     scratch: NetScratch,
     max_degree: usize,
+    /// Scratch pool for the chunked parallel path (empty until first used).
+    chunk_pool: Vec<WaChunkScratch>,
     exec: ExecConfig,
     obs: Obs,
 }
@@ -159,6 +191,7 @@ impl WaModel {
         WaModel {
             scratch: NetScratch::with_degree(max_degree),
             max_degree,
+            chunk_pool: Vec::new(),
             exec: ExecConfig::serial(),
             obs: Obs::disabled(),
         }
@@ -241,23 +274,34 @@ impl WaModel {
         let want = grad.is_some();
         let slots = grad.as_deref().map_or(0, |g| g.len());
         let max_degree = self.max_degree;
-        let partials = map_chunks(&self.exec, n_nets, chunks, |_, range| {
-            let mut scratch = NetScratch::with_degree(max_degree);
-            let mut local_grad = want.then(|| vec![Point::ORIGIN; slots]);
-            let mut total = 0.0;
-            for net in &design.nets[range] {
-                if net.pins.len() < 2 {
-                    continue;
+        let exec = self.exec;
+        for_each_chunk_pooled(
+            &exec,
+            n_nets,
+            chunks,
+            &mut self.chunk_pool,
+            || WaChunkScratch::new(max_degree),
+            |_, range, state| {
+                state.reset(want.then_some(slots));
+                let WaChunkScratch {
+                    scratch,
+                    grad,
+                    total,
+                } = state;
+                let mut local = want.then_some(&mut grad[..]);
+                for net in &design.nets[range] {
+                    if net.pins.len() < 2 {
+                        continue;
+                    }
+                    *total += scratch.net_value(net, pos, gamma, local.as_deref_mut());
                 }
-                total += scratch.net_value(net, pos, gamma, local_grad.as_deref_mut());
-            }
-            (total, local_grad)
-        });
+            },
+        );
         let mut total = 0.0;
-        for (t, local) in partials {
-            total += t;
-            if let (Some(g), Some(local)) = (grad.as_deref_mut(), local) {
-                for (dst, src) in g.iter_mut().zip(&local) {
+        for state in self.chunk_pool.iter().take(chunks) {
+            total += state.total;
+            if let Some(g) = grad.as_deref_mut() {
+                for (dst, src) in g.iter_mut().zip(&state.grad) {
                     *dst += *src;
                 }
             }
@@ -472,6 +516,28 @@ mod tests {
                 let scale = a.norm().max(1.0);
                 assert!((*a - *b).norm() <= 1e-9 * scale, "threads {threads}");
             }
+        }
+    }
+
+    #[test]
+    fn repeated_parallel_gradients_reuse_pool_and_stay_bitwise_stable() {
+        let (d, pos) = mesh_design(400);
+        let mut wa = WaModel::new(&d).with_exec(ExecConfig::with_threads(4));
+        let mut g1 = vec![Point::ORIGIN; pos.len()];
+        let w1 = wa.gradient(&d, &pos, 4.0, &mut g1);
+        let pool_len = wa.chunk_pool.len();
+        assert!(pool_len > 0, "parallel run should have built a pool");
+        // A gradient-free evaluation in between shrinks the pooled gradient
+        // accumulators to zero length; the next gradient must re-grow and
+        // re-zero them correctly.
+        let _ = wa.evaluate(&d, &pos, 4.0);
+        let mut g2 = vec![Point::ORIGIN; pos.len()];
+        let w2 = wa.gradient(&d, &pos, 4.0, &mut g2);
+        assert_eq!(wa.chunk_pool.len(), pool_len, "pool should be reused");
+        assert_eq!(w1.to_bits(), w2.to_bits());
+        for (a, b) in g1.iter().zip(&g2) {
+            assert_eq!(a.x.to_bits(), b.x.to_bits());
+            assert_eq!(a.y.to_bits(), b.y.to_bits());
         }
     }
 
