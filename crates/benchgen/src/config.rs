@@ -1,3 +1,4 @@
+use crate::peko::KnownOptimum;
 use eplace_netlist::Design;
 
 /// Parameters of one synthetic benchmark circuit.
@@ -38,6 +39,12 @@ pub struct BenchmarkConfig {
     pub nets_per_cell: f64,
     /// Rent-style locality: fraction of nets escaping a cluster per level.
     pub rent_exponent: f64,
+    /// PEKO mode: construct the netlist around a tiled placement whose HPWL
+    /// is a certified optimum (see [`BenchmarkConfig::peko_like`]). When
+    /// set, [`BenchmarkConfig::generate`] routes through the known-optimum
+    /// generator (discarding the certificate);
+    /// [`BenchmarkConfig::generate_known_optimum`] returns both.
+    pub peko: bool,
 }
 
 impl BenchmarkConfig {
@@ -55,6 +62,7 @@ impl BenchmarkConfig {
             utilization: 0.65,
             nets_per_cell: 1.0,
             rent_exponent: 0.65,
+            peko: false,
         }
     }
 
@@ -87,8 +95,37 @@ impl BenchmarkConfig {
         }
     }
 
+    /// A PEKO-like known-optimum circuit: uniform square std cells, no
+    /// macros or pads, and a netlist constructed so the generator's tiled
+    /// placement achieves a certified minimum HPWL (see
+    /// [`BenchmarkConfig::generate_known_optimum`] and DESIGN.md §12).
+    /// Utilization 0.5 leaves legalization headroom without changing the
+    /// optimum (whitespace never lowers a net's lower bound).
+    pub fn peko_like(name: impl Into<String>, seed: u64) -> Self {
+        BenchmarkConfig {
+            name: name.into(),
+            seed,
+            std_cells: 2_000,
+            movable_macros: 0,
+            fixed_macros: 0,
+            io_pads: 0,
+            target_density: 1.0,
+            utilization: 0.5,
+            nets_per_cell: 1.0,
+            rent_exponent: 0.65,
+            peko: true,
+        }
+    }
+
     /// Sets the standard-cell count (macro/pad counts stay proportional to
     /// the preset).
+    ///
+    /// On a [`BenchmarkConfig::peko_like`] config this is safe by
+    /// construction: the [`KnownOptimum`] certificate is derived from
+    /// scratch inside every `generate_known_optimum` call, never stored on
+    /// the config, so a rescaled config can only yield a freshly certified
+    /// design (or panic for counts below the PEKO minimum) — a stale
+    /// certificate cannot escape.
     #[must_use]
     pub fn scale(mut self, std_cells: usize) -> Self {
         self.std_cells = std_cells;
@@ -111,7 +148,25 @@ impl BenchmarkConfig {
             self.target_density > 0.0 && self.target_density <= 1.0,
             "target density must be in (0,1]"
         );
+        if self.peko {
+            return crate::peko::generate_peko(self).0;
+        }
         crate::generate_design(self)
+    }
+
+    /// Generates a known-optimum design together with its [`KnownOptimum`]
+    /// certificate. Only valid for [`BenchmarkConfig::peko_like`] configs.
+    ///
+    /// The certificate is re-derived from the config on every call (it is
+    /// never cached on `self`), so [`BenchmarkConfig::scale`] and any field
+    /// edits are automatically reflected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is not in PEKO mode, carries macros or pads,
+    /// or has fewer than [`crate::PEKO_MIN_CELLS`] cells.
+    pub fn generate_known_optimum(&self) -> (Design, KnownOptimum) {
+        crate::peko::generate_peko(self)
     }
 }
 

@@ -5,9 +5,9 @@ use eplace_prng::rngs::StdRng;
 use eplace_prng::{Rng, SeedableRng};
 
 /// Standard-cell row height in layout units (ISPD circuits use 12).
-const ROW_HEIGHT: f64 = 12.0;
+pub(crate) const ROW_HEIGHT: f64 = 12.0;
 /// Placement site width.
-const SITE_WIDTH: f64 = 1.0;
+pub(crate) const SITE_WIDTH: f64 = 1.0;
 /// IO pad dimensions.
 const PAD_SIZE: f64 = 6.0;
 
@@ -192,7 +192,7 @@ pub(crate) fn generate_design(cfg: &BenchmarkConfig) -> Design {
 }
 
 /// Contest-like net degree: mass at 2–3 with a geometric tail, mean ≈ 3.5.
-fn sample_degree(rng: &mut StdRng) -> usize {
+pub(crate) fn sample_degree(rng: &mut StdRng) -> usize {
     let r: f64 = rng.gen();
     if r < 0.55 {
         2

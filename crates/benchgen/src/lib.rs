@@ -26,9 +26,11 @@
 
 mod config;
 mod generate;
+mod peko;
 mod suite;
 
 pub use config::BenchmarkConfig;
+pub use peko::{peko_net_lower_bound, KnownOptimum, PEKO_CELL, PEKO_MIN_CELLS};
 pub use suite::BenchmarkSuite;
 
 pub(crate) use generate::generate_design;

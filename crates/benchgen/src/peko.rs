@@ -1,0 +1,414 @@
+//! PEKO-style known-optima benchmark construction.
+//!
+//! "Locality and Utilization in Placement Suboptimality" (arXiv 2305.16413)
+//! revives the PEKO idea (Chang–Cong–Xie): build a netlist *around* an
+//! overlap-free placement so that every net simultaneously achieves the
+//! minimum HPWL any legal placement could give it. The total HPWL of the
+//! construction placement is then a certified optimum, and any placer's
+//! result divides by it to give an **absolute suboptimality ratio** instead
+//! of a relative comparison.
+//!
+//! The construction here (see DESIGN.md §12 for the proof sketch):
+//!
+//! * every cell is a `PEKO_CELL × PEKO_CELL` square (one row tall, twelve
+//!   sites wide), tiled into a near-square block of grid slots — row- and
+//!   site-aligned, overlap-free, inside the region;
+//! * a net of degree `k` is a cluster of `k` cells filling an `a × b`
+//!   sub-block of the tile (column-major), where `(a, b)` minimizes
+//!   `(a−1)·W + (b−1)·H` subject to `a·b ≥ k` — exactly the lower bound
+//!   [`peko_net_lower_bound`] proves for *any* legal placement of `k`
+//!   disjoint equal squares in rows;
+//! * pins sit at cell centers (zero offset), so net HPWL is the bounding
+//!   box of member centers and the cluster achieves the bound with
+//!   equality.
+//!
+//! Per-net bound achieved for every net at once ⇒ the tiled placement is a
+//! global optimum over legal placements, carried as a [`KnownOptimum`]
+//! certificate alongside the design.
+
+use crate::generate::{sample_degree, ROW_HEIGHT, SITE_WIDTH};
+use crate::BenchmarkConfig;
+use eplace_geometry::{Point, Rect};
+use eplace_netlist::{total_pairwise_overlap, CellId, CellKind, Design, DesignBuilder};
+use eplace_prng::rngs::StdRng;
+use eplace_prng::{Rng, SeedableRng};
+
+/// Side length of every PEKO cell: one row tall and the same distance wide,
+/// so clusters are square-friendly in both axes.
+pub const PEKO_CELL: f64 = ROW_HEIGHT;
+
+/// Optimality certificate of a known-optimum design: the construction
+/// placement and the total HPWL it achieves (which no legal placement can
+/// beat).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnownOptimum {
+    /// Optimal center position per cell, indexed like `Design::cells` (the
+    /// generator emits no fillers; a design that later grew fillers is
+    /// certified on its original prefix).
+    pub placement: Vec<Point>,
+    /// Total HPWL of [`KnownOptimum::placement`], computed with the same
+    /// code path as `Design::hpwl` — re-evaluating the certificate
+    /// reproduces this value bit for bit.
+    pub hpwl: f64,
+}
+
+impl KnownOptimum {
+    /// Moves `design`'s first `placement.len()` cells onto the certificate
+    /// placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design has fewer cells than the certificate.
+    pub fn apply(&self, design: &mut Design) {
+        assert!(
+            design.cells.len() >= self.placement.len(),
+            "design has fewer cells than the certificate"
+        );
+        for (cell, &pos) in design.cells.iter_mut().zip(&self.placement) {
+            cell.pos = pos;
+        }
+    }
+
+    /// Suboptimality ratio of a final wirelength against the certificate:
+    /// `hpwl / optimal`. ≥ 1 for any legal placement; `NaN`/`inf` inputs
+    /// propagate so callers can assert finiteness.
+    pub fn ratio(&self, final_hpwl: f64) -> f64 {
+        final_hpwl / self.hpwl
+    }
+
+    /// Checks that the certificate is a *legal optimum certificate* for
+    /// `design`: one position per cell, every outline inside the region,
+    /// std cells row- and site-aligned, no pairwise overlap, and the
+    /// re-evaluated HPWL bit-equal to [`KnownOptimum::hpwl`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated property.
+    pub fn verify(&self, design: &Design) -> Result<(), String> {
+        if self.placement.len() != design.cells.len() {
+            return Err(format!(
+                "certificate covers {} cells, design has {}",
+                self.placement.len(),
+                design.cells.len()
+            ));
+        }
+        let region = design.region;
+        let mut rects = Vec::with_capacity(self.placement.len());
+        for (i, (cell, &pos)) in design.cells.iter().zip(&self.placement).enumerate() {
+            let half_w = 0.5 * cell.size.width;
+            let half_h = 0.5 * cell.size.height;
+            if pos.x - half_w < region.xl - 1e-9
+                || pos.x + half_w > region.xh + 1e-9
+                || pos.y - half_h < region.yl - 1e-9
+                || pos.y + half_h > region.yh + 1e-9
+            {
+                return Err(format!(
+                    "cell {i} ({}) outside the region at {pos}",
+                    cell.name
+                ));
+            }
+            if cell.kind == CellKind::StdCell {
+                let row = (pos.y - half_h - region.yl) / ROW_HEIGHT;
+                if (row - row.round()).abs() > 1e-9 {
+                    return Err(format!("cell {i} ({}) not row-aligned at {pos}", cell.name));
+                }
+                let site = (pos.x - half_w - region.xl) / SITE_WIDTH;
+                if (site - site.round()).abs() > 1e-9 {
+                    return Err(format!(
+                        "cell {i} ({}) not site-aligned at {pos}",
+                        cell.name
+                    ));
+                }
+            }
+            rects.push(Rect::from_center(pos, cell.size.width, cell.size.height));
+        }
+        let overlap = total_pairwise_overlap(&rects);
+        if overlap > 0.0 {
+            return Err(format!(
+                "certificate placement overlaps itself by {overlap}"
+            ));
+        }
+        let recomputed = design.hpwl_with_positions(&self.placement);
+        if recomputed.to_bits() != self.hpwl.to_bits() {
+            return Err(format!(
+                "certificate HPWL {} does not reproduce (recomputed {recomputed})",
+                self.hpwl
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The minimum HPWL any legal placement can give a `degree`-pin net of
+/// center-pinned [`PEKO_CELL`]-square cells.
+///
+/// In a legal placement the `k` member cells occupy disjoint sites on rows.
+/// If the members span `b` distinct rows, some row holds at least
+/// `⌈k/b⌉` of them, whose centers are ≥ `W` apart pairwise — so the bounding
+/// box is at least `(⌈k/b⌉−1)·W` wide — and the row span alone makes it at
+/// least `(b−1)·H` tall. Minimizing over `b` gives the bound; the PEKO
+/// cluster construction achieves it with equality (column-major `a × b`
+/// fill, see [`BenchmarkConfig::generate_known_optimum`]).
+pub fn peko_net_lower_bound(degree: usize) -> f64 {
+    if degree < 2 {
+        return 0.0;
+    }
+    let (a, b) = optimal_cluster_shape(degree);
+    (a - 1) as f64 * PEKO_CELL + (b - 1) as f64 * PEKO_CELL
+}
+
+/// The `(columns, rows)` block shape minimizing the net lower bound for a
+/// `degree`-cell cluster; among ties, the squarest (smallest max side).
+pub(crate) fn optimal_cluster_shape(degree: usize) -> (usize, usize) {
+    debug_assert!(degree >= 2);
+    let mut best: Option<(f64, usize, usize, usize)> = None;
+    for b in 1..=degree {
+        let a = degree.div_ceil(b);
+        let cost = (a - 1) as f64 * PEKO_CELL + (b - 1) as f64 * PEKO_CELL;
+        let squareness = a.max(b);
+        let candidate = (cost, squareness, a, b);
+        let better = match best {
+            None => true,
+            Some((c, s, _, _)) => cost < c - 1e-12 || ((cost - c).abs() <= 1e-12 && squareness < s),
+        };
+        if better {
+            best = Some(candidate);
+        }
+    }
+    let (_, _, a, b) = best.unwrap_or((0.0, 2, degree, 1));
+    (a, b)
+}
+
+/// Lower bound on the cell count [`BenchmarkConfig::generate_known_optimum`]
+/// accepts: below this the tile is too small to host the squarest optimal
+/// cluster of the largest sampled net degree.
+pub const PEKO_MIN_CELLS: usize = 60;
+
+pub(crate) fn generate_peko(cfg: &BenchmarkConfig) -> (Design, KnownOptimum) {
+    assert!(cfg.peko, "generate_known_optimum needs a peko_like config");
+    assert!(
+        cfg.movable_macros == 0 && cfg.fixed_macros == 0 && cfg.io_pads == 0,
+        "the PEKO optimality argument covers uniform movable std cells only; \
+         macros and pads would invalidate the per-net lower bound"
+    );
+    assert!(
+        cfg.std_cells >= PEKO_MIN_CELLS,
+        "peko mode needs at least {PEKO_MIN_CELLS} cells (got {})",
+        cfg.std_cells
+    );
+    assert!(
+        cfg.utilization > 0.0 && cfg.utilization < 1.0,
+        "utilization must be in (0,1)"
+    );
+
+    let n = cfg.std_cells;
+    let w = PEKO_CELL;
+    let h = PEKO_CELL;
+
+    // --- Tile geometry -----------------------------------------------------
+    // Near-square occupied block of grid slots; whitespace margin sized so
+    // movable/region area ≈ utilization, distributed evenly around the block
+    // in whole slots (keeping everything row- and site-aligned).
+    let cols = (n as f64).sqrt().ceil() as usize;
+    let rows_occ = n.div_ceil(cols);
+    let full_rows = n / cols;
+    let grow = 1.0 / cfg.utilization.sqrt();
+    let cols_total = ((cols as f64) * grow).ceil() as usize;
+    let rows_total = ((rows_occ as f64) * grow).ceil() as usize;
+    let col_off = (cols_total - cols) / 2;
+    let row_off = (rows_total - rows_occ) / 2;
+    let region = Rect::new(0.0, 0.0, cols_total as f64 * w, rows_total as f64 * h);
+
+    let mut b = DesignBuilder::new(cfg.name.clone(), region);
+    b.target_density(cfg.target_density);
+    b.uniform_rows(ROW_HEIGHT, SITE_WIDTH);
+
+    // --- Cells at their optimal (tiled) slots ------------------------------
+    let slot_center = |col: usize, row: usize| {
+        Point::new(
+            (col_off + col) as f64 * w + 0.5 * w,
+            (row_off + row) as f64 * h + 0.5 * h,
+        )
+    };
+    let mut placement = Vec::with_capacity(n);
+    let mut ids: Vec<CellId> = Vec::with_capacity(n);
+    for i in 0..n {
+        let (col, row) = (i % cols, i / cols);
+        let pos = slot_center(col, row);
+        placement.push(pos);
+        ids.push(b.add_cell_with(format!("c{i}"), w, h, CellKind::StdCell, false, pos));
+    }
+
+    // --- Nets: every cluster is an optimal a×b block -----------------------
+    // Anchored uniformly inside the fully populated rows, so all members
+    // exist; the partial top row is wired by the coverage pass below.
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let num_nets = ((n as f64) * cfg.nets_per_cell).round() as usize;
+    let degree_cap = 24.min(full_rows * cols);
+    let mut covered = vec![false; n];
+    let mut net_count = 0usize;
+    for _ in 0..num_nets {
+        let mut k = sample_degree(&mut rng).min(degree_cap);
+        let (mut a, mut bb) = optimal_cluster_shape(k);
+        // Shrink until the optimal shape fits the populated block (with
+        // PEKO_MIN_CELLS this triggers only near the degree cap).
+        while a > cols || bb > full_rows {
+            k -= 1;
+            if k < 2 {
+                break;
+            }
+            (a, bb) = optimal_cluster_shape(k);
+        }
+        if k < 2 {
+            continue;
+        }
+        let c0 = rng.gen_range(0..=(cols - a));
+        let r0 = rng.gen_range(0..=(full_rows - bb));
+        // Column-major fill: column c0 takes all `bb` rows (height of the
+        // bound), and since k > (a−1)·bb the last column is non-empty
+        // (width of the bound) — the cluster meets the bound exactly.
+        let mut pins = Vec::with_capacity(k);
+        'fill: for dc in 0..a {
+            for dr in 0..bb {
+                if pins.len() == k {
+                    break 'fill;
+                }
+                let idx = (r0 + dr) * cols + (c0 + dc);
+                covered[idx] = true;
+                pins.push((ids[idx], Point::ORIGIN));
+            }
+        }
+        b.add_net(format!("n{net_count}"), pins);
+        net_count += 1;
+    }
+    // Coverage pass: every still-disconnected cell gets a 2-pin net with a
+    // grid neighbor — degree-2 bound is one slot pitch, met by adjacency in
+    // either axis (W == H).
+    for i in 0..n {
+        if covered[i] {
+            continue;
+        }
+        let col = i % cols;
+        let j = if col + 1 < cols && i + 1 < n {
+            i + 1 // right neighbor
+        } else if col > 0 {
+            i - 1 // left neighbor
+        } else {
+            i - cols // single-column tile: below neighbor
+        };
+        covered[i] = true;
+        b.add_net(
+            format!("cov{i}"),
+            vec![(ids[i], Point::ORIGIN), (ids[j], Point::ORIGIN)],
+        );
+    }
+
+    let mut design = b.build();
+    debug_assert!(design.validate().is_ok());
+
+    // The construction positions *are* the optimum; certify before
+    // scattering the design to a random start (the flow's mIP expects the
+    // same kind of arbitrary input every other suite provides — starting at
+    // the optimum would let the placer cheat).
+    let hpwl = design.hpwl_with_positions(&placement);
+    let optimum = KnownOptimum { placement, hpwl };
+    for cell in design.cells.iter_mut() {
+        let half_w = 0.5 * cell.size.width;
+        let half_h = 0.5 * cell.size.height;
+        cell.pos = Point::new(
+            rng.gen_range(region.xl + half_w..=region.xh - half_w),
+            rng.gen_range(region.yl + half_h..=region.yh - half_h),
+        );
+    }
+    (design, optimum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_bound_small_degrees() {
+        assert_eq!(peko_net_lower_bound(0), 0.0);
+        assert_eq!(peko_net_lower_bound(1), 0.0);
+        // Two squares: one pitch apart.
+        assert_eq!(peko_net_lower_bound(2), PEKO_CELL);
+        // Four squares: a 2×2 block.
+        assert_eq!(peko_net_lower_bound(4), 2.0 * PEKO_CELL);
+        // Nine squares: a 3×3 block.
+        assert_eq!(peko_net_lower_bound(9), 4.0 * PEKO_CELL);
+    }
+
+    #[test]
+    fn cluster_shapes_are_feasible_and_tight() {
+        for k in 2..=24 {
+            let (a, b) = optimal_cluster_shape(k);
+            assert!(a * b >= k, "shape {a}x{b} too small for {k}");
+            assert!((a - 1) * b < k, "shape {a}x{b} wastes a column for {k}");
+            // Squarest tie-break keeps both sides within the cap implied by
+            // PEKO_MIN_CELLS (60 cells ⇒ 8 columns, 7 full rows).
+            assert!(a <= 5 && b <= 5, "shape {a}x{b} for {k}");
+        }
+    }
+
+    #[test]
+    fn generate_emits_certificate_matching_design() {
+        let cfg = BenchmarkConfig::peko_like("p", 11).scale(150);
+        let (design, opt) = cfg.generate_known_optimum();
+        assert_eq!(design.cells.len(), 150);
+        assert_eq!(opt.placement.len(), 150);
+        assert!(opt.hpwl > 0.0);
+        opt.verify(&design).unwrap();
+        assert!(design.validate().is_ok());
+    }
+
+    #[test]
+    fn every_net_achieves_its_lower_bound() {
+        let cfg = BenchmarkConfig::peko_like("p", 12).scale(200);
+        let (mut design, opt) = cfg.generate_known_optimum();
+        opt.apply(&mut design);
+        for net in &design.nets {
+            let lb = peko_net_lower_bound(net.degree());
+            let hpwl = design.net_hpwl(net);
+            assert!(
+                (hpwl - lb).abs() < 1e-9,
+                "net {} degree {} has HPWL {hpwl}, bound {lb}",
+                net.name,
+                net.degree()
+            );
+        }
+    }
+
+    #[test]
+    fn scatter_leaves_certificate_intact() {
+        let cfg = BenchmarkConfig::peko_like("p", 13).scale(100);
+        let (design, opt) = cfg.generate_known_optimum();
+        // The returned design starts scattered (strictly worse than the
+        // optimum), while the certificate still verifies against it.
+        assert!(design.hpwl() > opt.hpwl);
+        opt.verify(&design).unwrap();
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = BenchmarkConfig::peko_like("p", 14).scale(120);
+        let (d1, o1) = cfg.generate_known_optimum();
+        let (d2, o2) = cfg.generate_known_optimum();
+        assert_eq!(o1.hpwl.to_bits(), o2.hpwl.to_bits());
+        assert_eq!(o1.placement, o2.placement);
+        assert_eq!(d1.nets.len(), d2.nets.len());
+        let (d3, o3) = BenchmarkConfig::peko_like("p", 15)
+            .scale(120)
+            .generate_known_optimum();
+        assert_ne!(o1.hpwl.to_bits(), o3.hpwl.to_bits());
+        assert_eq!(d3.cells.len(), d1.cells.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn tiny_configs_are_rejected() {
+        let _ = BenchmarkConfig::peko_like("p", 1)
+            .scale(10)
+            .generate_known_optimum();
+    }
+}

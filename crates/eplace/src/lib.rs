@@ -135,6 +135,13 @@ pub struct EplaceConfig {
     /// Steplengths below this trip the sentinel as a collapse (a healthy
     /// backtracked α sits many orders of magnitude above).
     pub divergence_min_alpha: f64,
+    /// Certified optimal HPWL of the input design, when one is known
+    /// (PEKO-style benchmarks, `eplace_benchgen`'s
+    /// `BenchmarkConfig::generate_known_optimum`). Purely observational:
+    /// the optimizer never reads it; [`Placer::run`] divides the final
+    /// legal HPWL by it to fill
+    /// [`PlacementReport::suboptimality_ratio`].
+    pub known_optimum_hpwl: Option<f64>,
     /// Deterministic gradient fault for the fault-injection tests; always
     /// `None` in production, where the sentinel is read-only and the
     /// trajectory is bit-identical to the unguarded loop.
@@ -175,6 +182,7 @@ impl Default for EplaceConfig {
             recovery_alpha_scale: 0.1,
             divergence_hpwl_factor: 1e3,
             divergence_min_alpha: 1e-30,
+            known_optimum_hpwl: None,
             fault: None,
             obs: Obs::disabled(),
         }

@@ -208,10 +208,35 @@ pub fn quadratic_solve(design: &mut Design, anchors: &[Anchor], rebuilds: usize)
     cg_iterations
 }
 
+/// Does any net pin land on a fixed cell? Without one, the anchor-free
+/// B2B system is translation-invariant: its exact minimizer places every
+/// connected component at a single point (HPWL → 0), which is a useless —
+/// and for the downstream λ calibration, degenerate — start.
+fn has_fixed_pin(design: &Design) -> bool {
+    design.nets.iter().any(|net| {
+        net.pins
+            .iter()
+            .any(|pin| !design.cells[pin.cell.index()].is_movable())
+    })
+}
+
 /// Runs quadratic initial placement on every movable cell of `design`,
 /// updating positions in place.
+///
+/// Designs with no fixed pin on any net (e.g. the pad-free PEKO-style
+/// known-optima benchmarks) are returned unchanged with `rebuilds = 0`:
+/// the quadratic program is singular there and solving it would collapse
+/// the placement to a point.
 pub fn initial_placement(design: &mut Design) -> MipReport {
     let hpwl_before = design.hpwl();
+    if !has_fixed_pin(design) {
+        return MipReport {
+            hpwl_before,
+            hpwl_after: hpwl_before,
+            rebuilds: 0,
+            cg_iterations: 0,
+        };
+    }
     let rebuilds = 5;
     let cg_iterations = quadratic_solve(design, &[], rebuilds);
     MipReport {
@@ -374,6 +399,24 @@ mod tests {
             let r = c.rect();
             assert!(r.xl >= d.region.xl - 1e-6 && r.xh <= d.region.xh + 1e-6);
             assert!(r.yl >= d.region.yl - 1e-6 && r.yh <= d.region.yh + 1e-6);
+        }
+    }
+
+    #[test]
+    fn anchor_free_design_is_left_unchanged() {
+        // No net touches a fixed cell, so the quadratic system is
+        // translation-invariant and its minimizer is a collapsed point —
+        // mIP must keep the seed placement instead.
+        let (mut d, _) = BenchmarkConfig::peko_like("q", 44)
+            .scale(120)
+            .generate_known_optimum();
+        let before: Vec<Point> = d.cells.iter().map(|c| c.pos).collect();
+        let report = initial_placement(&mut d);
+        assert_eq!(report.rebuilds, 0);
+        assert_eq!(report.cg_iterations, 0);
+        assert_eq!(report.hpwl_after, report.hpwl_before);
+        for (cell, pos) in d.cells.iter().zip(before) {
+            assert_eq!(cell.pos, pos);
         }
     }
 

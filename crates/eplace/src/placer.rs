@@ -24,6 +24,12 @@ pub struct PlacementReport {
     pub scaled_hpwl: f64,
     /// Final density overflow τ (fraction).
     pub final_overflow: f64,
+    /// Absolute suboptimality ratio `final_hpwl / optimal_hpwl`, when the
+    /// input carried a known-optimum certificate
+    /// ([`EplaceConfig::known_optimum_hpwl`]); `None` for ordinary designs
+    /// whose optimum nobody knows. ≥ 1 for any legal placement of a valid
+    /// certificate.
+    pub suboptimality_ratio: Option<f64>,
     /// mIP outcome.
     pub mip: MipReport,
     /// mGP iterations executed.
@@ -260,6 +266,7 @@ impl Placer {
         let final_hpwl = design.hpwl();
         let final_overflow = final_overflow_of(design, &cfg);
         let scaled_hpwl = final_hpwl * (1.0 + 0.01 * (final_overflow * 100.0));
+        let suboptimality_ratio = cfg.known_optimum_hpwl.map(|opt| final_hpwl / opt);
 
         // Close the flow span so the snapshot sees its total, then derive
         // the per-phase breakdown and emit the end-of-run summary record.
@@ -275,6 +282,7 @@ impl Placer {
             final_hpwl,
             scaled_hpwl,
             final_overflow,
+            suboptimality_ratio,
             mip,
             mgp_iterations: mgp.iterations,
             mgp_backtracks_per_iteration: mgp.backtracks_per_iteration,
@@ -417,6 +425,31 @@ mod tests {
         let mut placer = Placer::new(design, EplaceConfig::fast());
         let report = placer.run().unwrap();
         assert!(report.scaled_hpwl >= report.final_hpwl);
+    }
+
+    #[test]
+    fn suboptimality_ratio_only_with_certificate() {
+        let (design, opt) = BenchmarkConfig::peko_like("peko_flow", 77)
+            .scale(150)
+            .generate_known_optimum();
+        let cfg = EplaceConfig {
+            known_optimum_hpwl: Some(opt.hpwl),
+            ..EplaceConfig::fast()
+        };
+        let mut placer = Placer::new(design, cfg);
+        let report = placer.run().unwrap();
+        assert!(report.legalization.is_some());
+        let ratio = report.suboptimality_ratio.expect("certificate provided");
+        assert!(ratio.is_finite());
+        assert!(ratio >= 1.0, "legal placement beat the optimum: {ratio}");
+        assert_eq!(ratio, report.final_hpwl / opt.hpwl);
+
+        // Ordinary designs report no ratio.
+        let design = BenchmarkConfig::ispd05_like("plain", 78)
+            .scale(150)
+            .generate();
+        let report = Placer::new(design, EplaceConfig::fast()).run().unwrap();
+        assert!(report.suboptimality_ratio.is_none());
     }
 
     #[test]

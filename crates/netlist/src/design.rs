@@ -228,6 +228,42 @@ impl Design {
         self.nets.iter().map(|n| self.net_hpwl(n)).sum()
     }
 
+    /// HPWL the design would have if cell `i` sat at `positions[i]`, without
+    /// mutating the current placement. Walks nets and pins in the same order
+    /// as [`Design::hpwl`], so a call with the current positions reproduces
+    /// [`Design::hpwl`] bit for bit — the property the known-optimum
+    /// certificates of `eplace-benchgen` rely on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions` is shorter than [`Design::cells`].
+    pub fn hpwl_with_positions(&self, positions: &[Point]) -> f64 {
+        assert!(
+            positions.len() >= self.cells.len(),
+            "positions slice shorter than cell list"
+        );
+        self.nets
+            .iter()
+            .map(|net| {
+                if net.pins.len() < 2 {
+                    return 0.0;
+                }
+                let mut min_x = f64::INFINITY;
+                let mut max_x = f64::NEG_INFINITY;
+                let mut min_y = f64::INFINITY;
+                let mut max_y = f64::NEG_INFINITY;
+                for pin in &net.pins {
+                    let p = positions[pin.cell.index()] + pin.offset;
+                    min_x = min_x.min(p.x);
+                    max_x = max_x.max(p.x);
+                    min_y = min_y.min(p.y);
+                    max_y = max_y.max(p.y);
+                }
+                net.weight * ((max_x - min_x) + (max_y - min_y))
+            })
+            .sum()
+    }
+
     /// Iterator over indexes of movable cells.
     pub fn movable_indices(&self) -> impl Iterator<Item = usize> + '_ {
         self.cells
@@ -359,6 +395,17 @@ mod tests {
     fn hpwl_two_pin() {
         let d = two_cell_design();
         assert_eq!(d.hpwl(), 30.0);
+    }
+
+    #[test]
+    fn hpwl_with_positions_matches_hpwl_bitwise() {
+        let d = two_cell_design();
+        let pos: Vec<Point> = d.cells.iter().map(|c| c.pos).collect();
+        assert_eq!(d.hpwl_with_positions(&pos).to_bits(), d.hpwl().to_bits());
+        // And a shifted placement is evaluated without mutating the design.
+        let moved: Vec<Point> = pos.iter().map(|p| Point::new(p.x + 5.0, p.y)).collect();
+        assert_eq!(d.hpwl_with_positions(&moved), d.hpwl());
+        assert_eq!(d.cells[0].pos, Point::new(10.0, 10.0));
     }
 
     #[test]

@@ -17,10 +17,92 @@ fn final_hpwl(cfg: &EplaceConfig, seed: u64) -> (f64, bool) {
     )
 }
 
+/// Ablation seeds for the PEKO suboptimality comparisons. Per-seed ratios
+/// are noisy at test scale, so the claims below compare seed-averaged
+/// ratios — everything is deterministic, the averaging only washes out
+/// which random netlist happens to favor which variant.
+const PEKO_ABLATION_SEEDS: [u64; 4] = [601, 602, 603, 604];
+
+/// Mean suboptimality ratio of `cfg` over the PEKO ablation seeds. A failed
+/// run counts as infinitely suboptimal, so callers can compare ratios
+/// unconditionally — there is no "only if the ablated run succeeded" branch
+/// to vacuously skip.
+fn mean_peko_ratio(cfg: &EplaceConfig) -> f64 {
+    let sum: f64 = PEKO_ABLATION_SEEDS
+        .iter()
+        .map(|&seed| {
+            let (design, optimum) = BenchmarkConfig::peko_like("claims_peko", seed)
+                .scale(180)
+                .generate_known_optimum();
+            let mut placer = Placer::new(
+                design,
+                EplaceConfig {
+                    known_optimum_hpwl: Some(optimum.hpwl),
+                    ..cfg.clone()
+                },
+            );
+            match placer.run() {
+                Ok(report) => report.suboptimality_ratio.unwrap_or(f64::INFINITY),
+                Err(_) => f64::INFINITY,
+            }
+        })
+        .sum();
+    sum / PEKO_ABLATION_SEEDS.len() as f64
+}
+
+#[test]
+fn preconditioner_ablation_degrades_suboptimality_ratio() {
+    // §V-D: without |E_i| + λq_i the force field is unevenly scaled across
+    // pin counts and quality collapses (paper: failures + 24.63 % WL).
+    // Measured against a certified optimum, the ablation must land strictly
+    // farther from it; a failed run counts as ratio = ∞, so the comparison
+    // always executes.
+    let base = EplaceConfig::fast();
+    let ablated = EplaceConfig {
+        enable_preconditioner: false,
+        ..base.clone()
+    };
+    let ratio_full = mean_peko_ratio(&base);
+    let ratio_abl = mean_peko_ratio(&ablated);
+    assert!(
+        ratio_full.is_finite() && ratio_full >= 1.0,
+        "reference ratio {ratio_full} must be a sane suboptimality ratio"
+    );
+    assert!(
+        ratio_abl > ratio_full * 1.01,
+        "no degradation without the preconditioner: {ratio_abl} vs {ratio_full}"
+    );
+}
+
+#[test]
+fn backtracking_ablation_does_not_improve_suboptimality_ratio() {
+    // §V-C: pure Lipschitz prediction without verification overestimates
+    // steps when λ/γ shift; against a certified optimum, removing the check
+    // must not move the flow closer to it (2 % noise slack; a failed run
+    // counts as ratio = ∞, so the comparison always executes).
+    let base = EplaceConfig::fast();
+    let ablated = EplaceConfig {
+        enable_backtracking: false,
+        ..base.clone()
+    };
+    let ratio_full = mean_peko_ratio(&base);
+    let ratio_abl = mean_peko_ratio(&ablated);
+    assert!(
+        ratio_full.is_finite() && ratio_full >= 1.0,
+        "reference ratio {ratio_full} must be a sane suboptimality ratio"
+    );
+    assert!(
+        ratio_abl >= ratio_full * 0.98,
+        "backtracking off should not be better: {ratio_abl} vs {ratio_full}"
+    );
+}
+
 #[test]
 fn preconditioner_ablation_degrades_mixed_size_quality() {
-    // §V-D: without |E_i| + λq_i, macro gradients dwarf std-cell gradients
-    // and quality collapses (paper: failures + 24.63 % WL).
+    // §V-D on the mixed-size suite: either the ablated run fails outright
+    // (the paper's common outcome) or it loses wirelength. The absolute
+    // version of this claim lives in
+    // `preconditioner_ablation_degrades_suboptimality_ratio`.
     let base = EplaceConfig::fast();
     let ablated = EplaceConfig {
         enable_preconditioner: false,
@@ -29,34 +111,10 @@ fn preconditioner_ablation_degrades_mixed_size_quality() {
     let (hpwl_full, ok_full) = final_hpwl(&base, 601);
     let (hpwl_abl, ok_abl) = final_hpwl(&ablated, 601);
     assert!(ok_full, "reference run must succeed");
-    // Either the ablated run fails outright (the paper's common outcome) or
-    // it loses wirelength.
-    if ok_abl {
-        assert!(
-            hpwl_abl > hpwl_full * 1.02,
-            "no degradation: {hpwl_abl} vs {hpwl_full}"
-        );
-    }
-}
-
-#[test]
-fn backtracking_ablation_does_not_improve_quality() {
-    // §V-C: pure Lipschitz prediction without verification overestimates
-    // steps when λ/γ shift; quality should not improve without it.
-    let base = EplaceConfig::fast();
-    let ablated = EplaceConfig {
-        enable_backtracking: false,
-        ..base.clone()
-    };
-    let (hpwl_full, ok_full) = final_hpwl(&base, 602);
-    let (hpwl_abl, ok_abl) = final_hpwl(&ablated, 602);
-    assert!(ok_full);
-    if ok_abl {
-        assert!(
-            hpwl_abl > hpwl_full * 0.98,
-            "backtracking off should not be better: {hpwl_abl} vs {hpwl_full}"
-        );
-    }
+    assert!(
+        !ok_abl || hpwl_abl > hpwl_full * 1.02,
+        "no degradation: {hpwl_abl} vs {hpwl_full}"
+    );
 }
 
 #[test]

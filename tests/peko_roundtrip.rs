@@ -1,0 +1,36 @@
+//! Bookshelf round-trip on a PEKO known-optimum design: writing the
+//! certificate placement as `.aux`/`.pl` and reading it back must preserve
+//! the certified HPWL bit for bit. The certificate's slot centers sit on
+//! integer coordinates, so any loss here would mean the writer's coordinate
+//! formatting (or the reader's assembly) truncates — exactly the corruption
+//! this guard exists to catch.
+
+use eplace_repro::benchgen::BenchmarkConfig;
+use eplace_repro::bookshelf::{read_aux, write_aux};
+
+#[test]
+fn bookshelf_roundtrip_preserves_certificate_hpwl() {
+    for seed in [21u64, 22, 23] {
+        let (mut design, optimum) = BenchmarkConfig::peko_like("rt", seed)
+            .scale(150)
+            .generate_known_optimum();
+        optimum.apply(&mut design);
+        assert_eq!(design.hpwl().to_bits(), optimum.hpwl.to_bits());
+
+        let dir = std::env::temp_dir().join(format!("eplace_peko_roundtrip_{seed}"));
+        let aux = write_aux(&design, &dir, "peko").unwrap();
+        let restored = read_aux(&aux).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+
+        assert_eq!(restored.cells.len(), design.cells.len());
+        assert_eq!(restored.nets.len(), design.nets.len());
+        assert_eq!(
+            restored.hpwl().to_bits(),
+            optimum.hpwl.to_bits(),
+            "seed {seed}: round-trip HPWL {} != certified {} — \
+             coordinate truncation in the Bookshelf writer/reader",
+            restored.hpwl(),
+            optimum.hpwl
+        );
+    }
+}

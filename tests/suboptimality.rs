@@ -1,0 +1,100 @@
+//! Absolute suboptimality bounds on PEKO-style known-optima suites.
+//!
+//! Every other quality test in this repo is relative (ePlace vs. a baseline
+//! on a netlist whose optimum nobody knows). `BenchmarkConfig::peko_like`
+//! designs carry a `KnownOptimum` certificate, so here the flow is held to
+//! an *absolute* standard: the final legal HPWL divided by the certified
+//! optimum must stay under a pinned ceiling, and must beat both baseline
+//! global placers run through the identical legalization/detail finisher.
+//!
+//! `bench_peko` measures the same ratios at larger scale; this suite pins
+//! the directions and bounds at test scale.
+
+use eplace_repro::baselines::{CgPlacer, GlobalPlacer, MincutPlacer};
+use eplace_repro::benchgen::BenchmarkConfig;
+use eplace_repro::core::{EplaceConfig, Placer};
+use eplace_repro::legalize::{detail_place, global_swap, legalize, legalize_abacus};
+use eplace_repro::netlist::Design;
+
+const CELLS: usize = 240;
+const SEEDS: [u64; 3] = [9_000, 9_001, 9_002];
+
+/// Pinned ceiling on ePlace's suboptimality ratio at test scale. The fast
+/// preset lands around 1.3–1.6 on these suites; 1.9 leaves noise headroom
+/// while still catching any regression to the legalizer-does-everything
+/// regime (ratios ≥ 2.5).
+const EPLACE_CEILING: f64 = 1.9;
+
+/// The downstream finisher every placer shares: the same legalization +
+/// detail stack the ePlace flow's cDP applies (Tetris fallback on Abacus
+/// failure), so ratios compare global-placement quality on equal footing.
+fn finish_legal(design: &mut Design) -> f64 {
+    if legalize_abacus(design).is_err() {
+        legalize(design).expect("even Tetris failed to legalize a half-utilization PEKO design");
+    }
+    detail_place(design, 1);
+    global_swap(design, 1);
+    detail_place(design, 1);
+    design.hpwl()
+}
+
+fn baseline_ratio(placer: &dyn GlobalPlacer, config: &BenchmarkConfig) -> f64 {
+    let (mut design, optimum) = config.generate_known_optimum();
+    placer.global_place(&mut design);
+    design.remove_fillers();
+    optimum.ratio(finish_legal(&mut design))
+}
+
+#[test]
+fn eplace_ratio_is_bounded_and_beats_both_baselines() {
+    for seed in SEEDS {
+        let config = BenchmarkConfig::peko_like("subopt", seed).scale(CELLS);
+        let (design, optimum) = config.generate_known_optimum();
+
+        let cfg = EplaceConfig {
+            known_optimum_hpwl: Some(optimum.hpwl),
+            ..EplaceConfig::fast()
+        };
+        let mut placer = Placer::new(design, cfg);
+        let report = placer
+            .run()
+            .expect("ePlace flow failed on a PEKO known-optimum suite");
+        let ratio = report
+            .suboptimality_ratio
+            .expect("a certificate was supplied, so the report must carry a ratio");
+
+        assert!(ratio.is_finite(), "seed {seed}: ratio = {ratio}");
+        assert!(
+            ratio >= 1.0 - 1e-9,
+            "seed {seed}: ratio {ratio} < 1 — a legal placement cannot beat a valid certificate"
+        );
+        assert!(
+            ratio <= EPLACE_CEILING,
+            "seed {seed}: ratio {ratio} above the pinned ceiling {EPLACE_CEILING}"
+        );
+
+        let cg = baseline_ratio(&CgPlacer::default(), &config);
+        let mincut = baseline_ratio(&MincutPlacer::default(), &config);
+        assert!(
+            ratio < cg,
+            "seed {seed}: ePlace ratio {ratio} does not beat cg-fftpl's {cg}"
+        );
+        assert!(
+            ratio < mincut,
+            "seed {seed}: ePlace ratio {ratio} does not beat mincut's {mincut}"
+        );
+    }
+}
+
+#[test]
+fn certificate_start_is_a_fixed_point_of_the_ratio() {
+    // Applying the certificate reproduces its HPWL bit for bit, so the
+    // ratio of the optimum against itself is exactly 1 — the absolute
+    // scale's anchor point.
+    let (mut design, optimum) = BenchmarkConfig::peko_like("subopt_anchor", 7)
+        .scale(CELLS)
+        .generate_known_optimum();
+    optimum.apply(&mut design);
+    assert_eq!(design.hpwl().to_bits(), optimum.hpwl.to_bits());
+    assert_eq!(optimum.ratio(design.hpwl()), 1.0);
+}
