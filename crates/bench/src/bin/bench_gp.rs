@@ -215,6 +215,6 @@ fn main() {
         .out
         .map(std::path::PathBuf::from)
         .unwrap_or_else(default_out_path);
-    std::fs::write(&out, format!("{doc}\n")).expect("writing BENCH_gp.json");
+    eplace_obs::write_atomic(&out, format!("{doc}\n").as_bytes()).expect("writing BENCH_gp.json");
     println!("bench_gp: validated result written to {}", out.display());
 }

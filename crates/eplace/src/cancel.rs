@@ -1,0 +1,90 @@
+//! Cooperative cancellation for long-running placement stages.
+//!
+//! A [`CancelToken`] is a cheap, cloneable flag the daemon hands to a
+//! worker's [`crate::EplaceConfig`]; the global-placement loop polls it
+//! once per iteration (a single relaxed atomic load — nothing observable
+//! on the healthy path, so cancelled-free runs stay bit-identical to runs
+//! without a token) and stops at the next iteration boundary with
+//! [`eplace_errors::EplaceError::Cancelled`], after committing the
+//! best-so-far positions.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Shared cancellation flag. The default token is *inert*: it has no
+/// backing flag, can never report cancelled, and costs nothing to check —
+/// so plain (non-daemon) runs don't pay for or observe the mechanism.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Option<Arc<AtomicBool>>,
+}
+
+impl CancelToken {
+    /// An armed token: clones share one flag, and [`CancelToken::cancel`]
+    /// on any clone is seen by all.
+    pub fn new() -> Self {
+        CancelToken {
+            flag: Some(Arc::new(AtomicBool::new(false))),
+        }
+    }
+
+    /// Requests cancellation. No-op on an inert (default) token.
+    pub fn cancel(&self) {
+        if let Some(flag) = &self.flag {
+            flag.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether cancellation has been requested. Always `false` for an
+    /// inert token.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::Relaxed))
+    }
+}
+
+/// Tokens compare by identity: two tokens are equal when they share the
+/// same flag (or are both inert). This exists so `EplaceConfig` can keep
+/// deriving `PartialEq`.
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.flag, &other.flag) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_token_is_inert() {
+        let t = CancelToken::default();
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(!t.is_cancelled(), "inert token must never cancel");
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let seen_by_worker = t.clone();
+        assert!(!seen_by_worker.is_cancelled());
+        t.cancel();
+        assert!(seen_by_worker.is_cancelled());
+    }
+
+    #[test]
+    fn equality_is_identity() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        assert_eq!(a, a.clone());
+        assert_ne!(a, b);
+        assert_eq!(CancelToken::default(), CancelToken::default());
+        assert_ne!(a, CancelToken::default());
+    }
+}

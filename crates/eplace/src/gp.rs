@@ -64,7 +64,9 @@ pub struct GpOutcome {
 /// [`EplaceError::Diverged`] when the sentinel trips more than
 /// [`EplaceConfig::recovery_retries`] times; the best placement seen is
 /// committed to `design` before returning and the report carries its
-/// HPWL/overflow.
+/// HPWL/overflow. [`EplaceError::Cancelled`] when the config's
+/// [`crate::CancelToken`] fires — also after committing the best placement
+/// seen.
 pub fn run_global_placement(
     design: &mut Design,
     problem: &PlacementProblem,
@@ -248,6 +250,19 @@ fn run_guarded(
     let mut recoveries = 0usize;
     let mut spent = 0usize;
     while spent < max_iters {
+        // Cooperative cancellation, polled at the iteration boundary only:
+        // a single relaxed load on the healthy path, so cancel-free runs
+        // stay bit-identical whether or not a token is armed. On cancel the
+        // best placement seen is committed before returning, like the
+        // diverged exit.
+        if cfg.cancel.is_cancelled() {
+            drop(cost);
+            problem.apply(design, &best_pos);
+            return Err(EplaceError::Cancelled {
+                stage: stage.to_string(),
+                iteration: iter,
+            });
+        }
         spent += 1;
         iterations = spent;
         let _iter_span = obs.span("iter");

@@ -34,6 +34,8 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+mod cancel;
+mod ckpt;
 mod cost;
 mod fillers;
 mod gp;
@@ -44,6 +46,8 @@ mod problem;
 mod recover;
 mod trace;
 
+pub use cancel::CancelToken;
+pub use ckpt::{checkpoint_from_bytes, checkpoint_to_bytes, load_checkpoint, save_checkpoint};
 pub use cost::EplaceCost;
 pub use fillers::insert_fillers;
 pub use gp::{resume_global_placement, run_global_placement, GpOutcome};
@@ -153,6 +157,14 @@ pub struct EplaceConfig {
     /// without ever feeding back into the numerics — traces stay
     /// bit-identical either way.
     pub obs: Obs,
+    /// Cooperative cancellation flag, polled once per global-placement
+    /// iteration. The inert default never cancels and adds nothing
+    /// observable to the trajectory; the placement-service daemon installs
+    /// an armed token ([`CancelToken::new`]) so a job can be stopped at the
+    /// next iteration boundary with
+    /// [`eplace_errors::EplaceError::Cancelled`] after the best-so-far
+    /// positions are committed.
+    pub cancel: CancelToken,
 }
 
 impl Default for EplaceConfig {
@@ -185,6 +197,7 @@ impl Default for EplaceConfig {
             known_optimum_hpwl: None,
             fault: None,
             obs: Obs::disabled(),
+            cancel: CancelToken::default(),
         }
     }
 }

@@ -65,6 +65,11 @@ pub struct PlacementReport {
     pub phase_times: Vec<PhaseTime>,
     /// Iterations recorded per global-placement stage, in flow order.
     pub iterations_per_stage: Vec<(Stage, usize)>,
+    /// Journal lines/flushes lost to I/O failures (the sink keeps running
+    /// best-effort after a write error, but the loss must be visible —
+    /// also surfaced as the `journal/io_errors` metric in the end-of-run
+    /// summary). Always 0 when no journal sink is attached.
+    pub journal_io_errors: u64,
 }
 
 impl PlacementReport {
@@ -277,6 +282,7 @@ impl Placer {
             obs.journal(summary.to_record());
         }
         obs.flush();
+        let journal_io_errors = obs.journal_io_errors();
 
         Ok(PlacementReport {
             final_hpwl,
@@ -298,6 +304,7 @@ impl Placer {
             iterations_per_stage: iterations_per_stage(&trace),
             trace,
             phase_times,
+            journal_io_errors,
         })
     }
 }

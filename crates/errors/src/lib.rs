@@ -155,6 +155,40 @@ pub enum EplaceError {
         /// Stage name.
         stage: String,
     },
+    /// A durable checkpoint could not be decoded: truncated payload, bad
+    /// magic/version, checksum mismatch, or inconsistent vector lengths.
+    /// Loading a corrupt checkpoint is always this error, never a panic.
+    Checkpoint {
+        /// Checkpoint path (`"<memory>"` for in-memory decoding).
+        path: String,
+        /// What failed to decode or verify.
+        message: String,
+    },
+    /// A placement-service job failed daemon-side: unreadable or invalid
+    /// manifest, spool I/O trouble, or quarantine after budget exhaustion.
+    Job {
+        /// Job name (manifest file stem).
+        job: String,
+        /// Explanation.
+        message: String,
+    },
+    /// A job exceeded its per-job wall-clock deadline and was stopped at an
+    /// iteration boundary.
+    DeadlineExceeded {
+        /// Job name.
+        job: String,
+        /// Configured wall-clock budget in seconds.
+        limit_secs: f64,
+    },
+    /// A placement stage observed a tripped
+    /// cancellation token and stopped cooperatively at an iteration
+    /// boundary. The design is left at the best placement seen so far.
+    Cancelled {
+        /// Stage name (`mGP`, `cGP`, `fillerGP`).
+        stage: String,
+        /// Logical iteration at which the cancellation was observed.
+        iteration: usize,
+    },
 }
 
 impl fmt::Display for EplaceError {
@@ -191,6 +225,16 @@ impl fmt::Display for EplaceError {
             EplaceError::EmptyTrace { stage } => {
                 write!(f, "{stage} produced no iterations (empty trace)")
             }
+            EplaceError::Checkpoint { path, message } => {
+                write!(f, "corrupt checkpoint {path}: {message}")
+            }
+            EplaceError::Job { job, message } => write!(f, "job `{job}`: {message}"),
+            EplaceError::DeadlineExceeded { job, limit_secs } => {
+                write!(f, "job `{job}` exceeded its {limit_secs}s deadline")
+            }
+            EplaceError::Cancelled { stage, iteration } => {
+                write!(f, "{stage} cancelled at iteration {iteration}")
+            }
         }
     }
 }
@@ -219,6 +263,29 @@ impl EplaceError {
     /// best-so-far placement, so a caller may choose to keep going).
     pub fn is_diverged(&self) -> bool {
         matches!(self, EplaceError::Diverged(_))
+    }
+
+    /// Shorthand for a [`EplaceError::Checkpoint`].
+    pub fn checkpoint(path: impl Into<String>, message: impl Into<String>) -> Self {
+        EplaceError::Checkpoint {
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for a [`EplaceError::Job`].
+    pub fn job(job: impl Into<String>, message: impl Into<String>) -> Self {
+        EplaceError::Job {
+            job: job.into(),
+            message: message.into(),
+        }
+    }
+
+    /// `true` when the error is a cooperative cancellation (the design
+    /// carries the best-so-far placement; the run can be resumed from its
+    /// last checkpoint).
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, EplaceError::Cancelled { .. })
     }
 }
 
@@ -270,6 +337,29 @@ mod tests {
         assert!(s.contains("iteration 42"));
         assert!(s.contains("non-finite gradient"));
         assert!(s.contains("0.31"));
+    }
+
+    #[test]
+    fn service_variants_display() {
+        let ck = EplaceError::checkpoint("/tmp/job.ckpt", "checksum mismatch");
+        assert_eq!(
+            ck.to_string(),
+            "corrupt checkpoint /tmp/job.ckpt: checksum mismatch"
+        );
+        let job = EplaceError::job("adaptec1", "manifest unreadable");
+        assert!(job.to_string().contains("adaptec1"));
+        let dl = EplaceError::DeadlineExceeded {
+            job: "j1".into(),
+            limit_secs: 2.5,
+        };
+        assert!(dl.to_string().contains("2.5s deadline"));
+        let c = EplaceError::Cancelled {
+            stage: "mGP".into(),
+            iteration: 17,
+        };
+        assert!(c.is_cancelled());
+        assert!(!ck.is_cancelled());
+        assert_eq!(c.to_string(), "mGP cancelled at iteration 17");
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! Crash-safe file writes: the workspace-wide write-temp-then-rename
+//! helper.
+//!
+//! Every whole-file artifact the workspace produces (bench baselines,
+//! golden-trace snapshots, checkpoints, job results) goes through
+//! [`write_atomic`], so a crash — including SIGKILL — at any instant leaves
+//! either the previous complete file or the new complete file on disk,
+//! never a truncated or half-written one. Append-only logs (the run journal
+//! sink, the job ledger) are the one exception: they stream by design and
+//! their readers tolerate a torn final line instead.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// The sibling temp path `write_atomic` stages into: `<name>.tmp.<pid>` in
+/// the destination's directory (same filesystem, so the rename is atomic).
+fn staging_path(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "out".into());
+    name.push(format!(".tmp.{}", std::process::id()));
+    path.with_file_name(name)
+}
+
+/// Writes `bytes` to `path` atomically: stage into a sibling temp file,
+/// flush and fsync it, then rename over the destination. On any failure the
+/// staging file is removed and the destination is untouched.
+///
+/// # Errors
+///
+/// Forwards the first [`std::io::Error`] from create/write/sync/rename.
+pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let tmp = staging_path(path);
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        // Durability, not just atomicity: the rename must never expose a
+        // file whose *contents* are still in the page cache only.
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("eplace_fsutil_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_new_file() {
+        let dir = tmp_dir("new");
+        let path = dir.join("out.json");
+        write_atomic(&path, b"{\"ok\":true}\n").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"{\"ok\":true}\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replaces_existing_file_completely() {
+        let dir = tmp_dir("replace");
+        let path = dir.join("out.json");
+        std::fs::write(&path, "old contents, much longer than the new ones").unwrap();
+        write_atomic(&path, b"new").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"new");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failure_leaves_destination_untouched() {
+        let dir = tmp_dir("fail");
+        let path = dir.join("missing_subdir").join("out.json");
+        assert!(write_atomic(&path, b"x").is_err());
+        assert!(!path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_staging_file_left_behind() {
+        let dir = tmp_dir("clean");
+        let path = dir.join("out.json");
+        write_atomic(&path, b"data").unwrap();
+        let extras: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n != "out.json")
+            .collect();
+        assert!(extras.is_empty(), "leftover staging files: {extras:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -7,33 +7,54 @@ use std::sync::{Arc, Mutex};
 
 /// Where journal lines go. Implementations must be `Send` (the handle is
 /// shared across kernel worker threads). Sinks are best-effort telemetry:
-/// write failures must not fail the placement, so the trait is infallible
-/// and file sinks swallow I/O errors after reporting them once.
+/// write failures must not fail the placement, so the trait is infallible —
+/// but silent data loss must still be *observable*, so every sink counts the
+/// lines and flushes it lost to I/O errors ([`JournalSink::io_errors`]) and
+/// [`crate::Obs`] surfaces that count as the `journal/io_errors` metric.
 pub trait JournalSink: Send {
     /// Appends one line (no trailing newline in `line`).
     fn write_line(&mut self, line: &str);
 
     /// Flushes buffered lines; default no-op.
     fn flush(&mut self) {}
+
+    /// Journal lines/flushes lost to I/O failures so far; default 0 for
+    /// infallible sinks.
+    fn io_errors(&self) -> u64 {
+        0
+    }
 }
 
-/// Buffered JSONL file sink.
+/// Buffered JSONL file sink with crash-safe finalization: lines stream into
+/// a sibling `<path>.tmp` staging file and the finished journal is renamed
+/// onto `path` when the sink drops, so readers of `path` only ever see a
+/// complete journal (ending in its summary record), never a truncated one.
+/// A crash before finalization leaves the previous journal (if any) intact.
 pub struct FileSink {
     writer: std::io::BufWriter<std::fs::File>,
-    /// First write error, reported to stderr once; later errors are dropped.
+    staging: String,
+    path: String,
+    /// First write error is reported to stderr; every lost line after it is
+    /// still counted in `io_errors`.
     failed: bool,
+    io_errors: u64,
 }
 
 impl FileSink {
-    /// Creates (truncating) the journal file at `path`.
+    /// Opens the staging file `<path>.tmp` for the journal that will land
+    /// at `path` when the sink is dropped.
     ///
     /// # Errors
     ///
-    /// Forwards the [`std::io::Error`] from file creation.
+    /// Forwards the [`std::io::Error`] from staging-file creation.
     pub fn create(path: &str) -> std::io::Result<Self> {
+        let staging = format!("{path}.tmp");
         Ok(FileSink {
-            writer: std::io::BufWriter::new(std::fs::File::create(path)?),
+            writer: std::io::BufWriter::new(std::fs::File::create(&staging)?),
+            staging,
+            path: path.to_string(),
             failed: false,
+            io_errors: 0,
         })
     }
 }
@@ -41,11 +62,13 @@ impl FileSink {
 impl JournalSink for FileSink {
     fn write_line(&mut self, line: &str) {
         if self.failed {
+            self.io_errors += 1; // the line is lost: keep the loss visible
             return;
         }
         if let Err(e) = writeln!(self.writer, "{line}") {
             eprintln!("eplace-obs: journal write failed, disabling journal: {e}");
             self.failed = true;
+            self.io_errors += 1;
         }
     }
 
@@ -54,14 +77,27 @@ impl JournalSink for FileSink {
             if let Err(e) = self.writer.flush() {
                 eprintln!("eplace-obs: journal flush failed: {e}");
                 self.failed = true;
+                self.io_errors += 1;
             }
         }
+    }
+
+    fn io_errors(&self) -> u64 {
+        self.io_errors
     }
 }
 
 impl Drop for FileSink {
     fn drop(&mut self) {
         JournalSink::flush(self);
+        if self.failed {
+            // An incomplete journal must never replace a complete one.
+            let _ = std::fs::remove_file(&self.staging);
+            return;
+        }
+        if let Err(e) = std::fs::rename(&self.staging, &self.path) {
+            eprintln!("eplace-obs: journal finalize failed: {e}");
+        }
     }
 }
 
@@ -281,9 +317,53 @@ mod tests {
         {
             let mut sink = FileSink::create(path).unwrap();
             sink.write_line("{\"type\":\"iter\"}");
-        } // drop flushes
+        } // drop flushes and renames the staging file into place
         let content = std::fs::read_to_string(path).unwrap();
         assert_eq!(content, "{\"type\":\"iter\"}\n");
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn file_sink_stages_until_drop() {
+        let dir = std::env::temp_dir().join(format!("eplace_obs_stage_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        let path = path.to_str().unwrap().to_string();
+        std::fs::write(&path, "previous complete journal\n").unwrap();
+        {
+            let mut sink = FileSink::create(&path).unwrap();
+            sink.write_line("new line");
+            sink.flush();
+            // Mid-run (= mid-crash-window) the destination still holds the
+            // previous complete journal; the new lines live in staging.
+            assert_eq!(
+                std::fs::read_to_string(&path).unwrap(),
+                "previous complete journal\n"
+            );
+            assert!(std::path::Path::new(&format!("{path}.tmp")).exists());
+            assert_eq!(sink.io_errors(), 0);
+        }
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "new line\n");
+        assert!(!std::path::Path::new(&format!("{path}.tmp")).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_sink_counts_every_lost_line() {
+        let dir = std::env::temp_dir().join(format!("eplace_obs_fail_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        let mut sink = FileSink::create(path.to_str().unwrap()).unwrap();
+        sink.write_line("ok");
+        // Force the failure path directly: once failed, every later line is
+        // a counted loss, and the broken staging file never replaces the
+        // destination.
+        sink.failed = true;
+        sink.write_line("lost 1");
+        sink.write_line("lost 2");
+        assert_eq!(sink.io_errors(), 2);
+        drop(sink);
+        assert!(!path.exists(), "failed journal must not be finalized");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

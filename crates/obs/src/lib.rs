@@ -60,11 +60,13 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+mod fsutil;
 mod journal;
 pub mod json;
 mod metrics;
 mod report;
 
+pub use fsutil::write_atomic;
 pub use journal::{FileSink, JournalSink, MemoryJournal, MemorySink, Record};
 pub use metrics::{Histogram, HistogramSnapshot, Snapshot, SpanStat};
 pub use report::{render_phase_table, PhaseTime, Summary};
@@ -152,11 +154,15 @@ impl Obs {
         Obs::with_journal(Some(sink))
     }
 
-    /// Journals to a freshly created/truncated JSONL file at `path`.
+    /// Journals to a JSONL file at `path`. Lines stream into a sibling
+    /// `<path>.tmp` staging file and the complete journal is renamed onto
+    /// `path` when the recorder's last handle drops (see [`FileSink`]), so a
+    /// crash never leaves a truncated journal at `path`.
     ///
     /// # Errors
     ///
-    /// Forwards the [`std::io::Error`] when the file cannot be created.
+    /// Forwards the [`std::io::Error`] when the staging file cannot be
+    /// created.
     pub fn to_file(path: &str) -> std::io::Result<Self> {
         Ok(Obs::with_sink(Box::new(FileSink::create(path)?)))
     }
@@ -265,6 +271,20 @@ impl Obs {
         }
     }
 
+    /// Journal lines/flushes lost to sink I/O failures so far (0 for
+    /// disabled, metrics-only, and healthy journaling recorders). Also
+    /// surfaced as the `journal/io_errors` counter in [`Obs::snapshot`], so
+    /// silent telemetry loss shows up in the end-of-run [`Summary`].
+    pub fn journal_io_errors(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => match &inner.journal {
+                Some(journal) => lock(journal).io_errors(),
+                None => 0,
+            },
+            None => 0,
+        }
+    }
+
     /// A deterministic point-in-time copy of everything recorded so far
     /// (all collections ordered by name/path).
     pub fn snapshot(&self) -> Snapshot {
@@ -279,10 +299,18 @@ impl Obs {
                         total_ns,
                     })
                     .collect(),
-                counters: lock(&inner.counters)
-                    .iter()
-                    .map(|(&k, &v)| (k.to_string(), v))
-                    .collect(),
+                counters: {
+                    let mut counters: Vec<(String, u64)> = lock(&inner.counters)
+                        .iter()
+                        .map(|(&k, &v)| (k.to_string(), v))
+                        .collect();
+                    if let Some(journal) = &inner.journal {
+                        let io_errors = lock(journal).io_errors();
+                        counters.push(("journal/io_errors".to_string(), io_errors));
+                        counters.sort();
+                    }
+                    counters
+                },
                 gauges: lock(&inner.gauges)
                     .iter()
                     .map(|(&k, &v)| (k.to_string(), v))
@@ -430,6 +458,44 @@ mod tests {
         };
         assert_eq!(run(), run());
         assert_eq!(run().0, 400);
+    }
+
+    /// A sink that loses every line, for exercising the io_errors plumbing.
+    struct LossySink {
+        lost: u64,
+    }
+
+    impl JournalSink for LossySink {
+        fn write_line(&mut self, _line: &str) {
+            self.lost += 1;
+        }
+
+        fn io_errors(&self) -> u64 {
+            self.lost
+        }
+    }
+
+    #[test]
+    fn journal_io_errors_surface_as_metric() {
+        assert_eq!(Obs::disabled().journal_io_errors(), 0);
+        assert_eq!(Obs::metrics().journal_io_errors(), 0);
+        let (obs, _journal) = Obs::memory();
+        obs.journal(Record::new("iter"));
+        assert_eq!(obs.journal_io_errors(), 0);
+        assert_eq!(obs.snapshot().counter("journal/io_errors"), 0);
+
+        let obs = Obs::with_sink(Box::new(LossySink { lost: 0 }));
+        obs.journal(Record::new("iter"));
+        obs.journal(Record::new("iter"));
+        assert_eq!(obs.journal_io_errors(), 2);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("journal/io_errors"), 2);
+        // The loss also reaches the end-of-run summary via its counters.
+        let summary = obs.summary();
+        assert!(summary
+            .counters
+            .iter()
+            .any(|(name, n)| name == "journal/io_errors" && *n == 2));
     }
 
     #[test]

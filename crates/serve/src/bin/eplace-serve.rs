@@ -1,0 +1,91 @@
+//! The `eplace-serve` daemon binary.
+//!
+//! ```text
+//! eplace-serve --spool DIR [--workers N] [--chunk-iters N] [--poll-ms N]
+//!              [--backoff-ms N] [--drain]
+//! ```
+//!
+//! Submit work by dropping `<name>.json` manifests into `DIR/incoming/`;
+//! cancel with `touch DIR/cancel/<name>`; stop the daemon with
+//! `touch DIR/stop` (crash-only: in-flight jobs resume from their last
+//! durable checkpoint on the next start). `--drain` exits once all known
+//! work is terminal instead of serving forever.
+
+use eplace_serve::{serve, ServeConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: eplace-serve --spool DIR [--workers N] [--chunk-iters N] \
+         [--poll-ms N] [--backoff-ms N] [--drain]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(value) = value else {
+        eprintln!("eplace-serve: {flag} needs a value");
+        usage();
+    };
+    match value.parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("eplace-serve: bad value `{value}` for {flag}");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut spool: Option<String> = None;
+    let mut cfg_workers = None;
+    let mut cfg_chunk = None;
+    let mut cfg_poll = None;
+    let mut cfg_backoff = None;
+    let mut drain = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--spool" => spool = Some(parse("--spool", args.next())),
+            "--workers" => cfg_workers = Some(parse("--workers", args.next())),
+            "--chunk-iters" => cfg_chunk = Some(parse("--chunk-iters", args.next())),
+            "--poll-ms" => cfg_poll = Some(parse("--poll-ms", args.next())),
+            "--backoff-ms" => cfg_backoff = Some(parse("--backoff-ms", args.next())),
+            "--drain" => drain = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("eplace-serve: unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+    let Some(spool) = spool else {
+        eprintln!("eplace-serve: --spool is required");
+        usage();
+    };
+    let mut cfg = ServeConfig::new(spool);
+    if let Some(w) = cfg_workers {
+        cfg.workers = w;
+    }
+    if let Some(c) = cfg_chunk {
+        cfg.chunk_iters = c;
+    }
+    if let Some(p) = cfg_poll {
+        cfg.poll_ms = p;
+    }
+    if let Some(b) = cfg_backoff {
+        cfg.backoff_base_ms = b;
+    }
+    cfg.drain = drain;
+    match serve(&cfg) {
+        Ok(summary) => {
+            println!(
+                "eplace-serve: done={} quarantined={} cancelled={} resumed={}",
+                summary.done, summary.quarantined, summary.cancelled, summary.resumed
+            );
+        }
+        Err(e) => {
+            eprintln!("eplace-serve: fatal: {e}");
+            std::process::exit(1);
+        }
+    }
+}

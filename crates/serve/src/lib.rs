@@ -1,0 +1,39 @@
+//! `eplace-serve` — placement as a service.
+//!
+//! A long-running daemon that accepts placement jobs through a watched
+//! spool directory, schedules them across a bounded worker pool, and is
+//! crash-recoverable end to end:
+//!
+//! - **Jobs** are JSON manifests ([`JobManifest`]) naming an input design
+//!   (generated demo or Bookshelf `.aux`) plus config overrides and service
+//!   policy (deadline, retry budget).
+//! - **Durability**: workers run the global placement in fixed-size
+//!   iteration chunks with an atomic, checksummed checkpoint
+//!   ([`eplace_core::save_checkpoint`]) at every chunk boundary, and every
+//!   state transition is fsynced into a replayable JSONL ledger
+//!   ([`ledger`]) *after* the artifact it references is on disk.
+//! - **Recovery**: on restart the daemon replays the ledger and resumes
+//!   in-flight jobs from their last on-disk checkpoint; because chunk
+//!   boundaries align across restarts and checkpoint/resume is
+//!   trajectory-neutral, a SIGKILLed-and-resumed job finishes bit-identical
+//!   to an uninterrupted one.
+//! - **Resilience policy**: per-job wall-clock deadlines, bounded
+//!   retry-with-backoff on failures (layered on the core's divergence
+//!   sentinel), and poison-job quarantine once the budget is exhausted —
+//!   the daemon keeps serving other jobs throughout. Cancellation is
+//!   cooperative ([`eplace_core::CancelToken`]), checked at iteration
+//!   boundaries.
+//!
+//! See `DESIGN.md` §13 for the architecture and the full job state
+//! machine.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![deny(missing_docs)]
+
+pub mod daemon;
+pub mod ledger;
+pub mod manifest;
+
+pub use daemon::{serve, ServeConfig, ServeSummary};
+pub use ledger::{fold, replay, JobEvent, JobStatus, Ledger, LedgerRecord};
+pub use manifest::{JobManifest, JobSource};

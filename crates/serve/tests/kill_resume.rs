@@ -1,0 +1,122 @@
+//! The headline crash-recovery guarantee, tested against the real binary:
+//! SIGKILL the daemon mid-job, restart it, and the resumed placement's
+//! artifacts are byte-identical to an uninterrupted run's.
+
+use eplace_serve::{fold, replay, JobEvent, ServeConfig};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_eplace-serve");
+
+const JOB: &str = r#"{"demo": {"cells": 220, "seed": 17}, "max_iterations": 64,
+                      "target_overflow": 0.0001}"#;
+
+fn spool(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("eplace_kill_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("incoming")).unwrap();
+    std::fs::write(dir.join("incoming").join("job1.json"), JOB).unwrap();
+    dir
+}
+
+fn drain(dir: &Path) {
+    let status = Command::new(BIN)
+        .args([
+            "--spool",
+            dir.to_str().unwrap(),
+            "--chunk-iters",
+            "8",
+            "--poll-ms",
+            "2",
+            "--drain",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .status()
+        .unwrap();
+    assert!(status.success(), "daemon drain run failed");
+}
+
+#[test]
+fn sigkill_mid_job_then_restart_is_bit_identical_to_uninterrupted() {
+    // Reference: the same job served start-to-finish by one process.
+    let ref_dir = spool("ref");
+    drain(&ref_dir);
+    let ref_cfg = ServeConfig::new(&ref_dir);
+    let ref_result = std::fs::read(ref_cfg.job_dir("job1").join("result.json")).unwrap();
+    let ref_ckpt = std::fs::read(ref_cfg.job_dir("job1").join("job.ckpt")).unwrap();
+    let ref_jobs = fold(&replay(ref_cfg.ledger_path()).unwrap());
+    assert!(matches!(ref_jobs["job1"].last, JobEvent::Done { .. }));
+
+    // Victim: serve without --drain, SIGKILL once a durable checkpoint is
+    // ledgered (i.e., provably mid-job).
+    let vic_dir = spool("vic");
+    let vic_cfg = ServeConfig::new(&vic_dir);
+    let mut child = Command::new(BIN)
+        .args([
+            "--spool",
+            vic_dir.to_str().unwrap(),
+            "--chunk-iters",
+            "8",
+            "--poll-ms",
+            "2",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .unwrap();
+    let ledger_path = vic_cfg.ledger_path();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let ledgered_checkpoint = std::fs::read_to_string(&ledger_path)
+            .map(|t| t.contains("\"event\":\"checkpointed\""))
+            .unwrap_or(false);
+        if ledgered_checkpoint {
+            break;
+        }
+        if let Some(status) = child.try_wait().unwrap() {
+            panic!("daemon exited prematurely: {status}");
+        }
+        assert!(Instant::now() < deadline, "no checkpoint within 120s");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    child.kill().unwrap(); // SIGKILL on unix: no destructors, no flushes
+    child.wait().unwrap();
+
+    // The job must be non-terminal in the ledger (the kill was mid-job) and
+    // the ledger must replay clean despite the kill.
+    let jobs = fold(&replay(&ledger_path).unwrap());
+    assert!(
+        !jobs["job1"].is_terminal(),
+        "kill landed after completion; the test did not exercise resume: {:?}",
+        jobs["job1"].last
+    );
+
+    // Restart: recovery replays the ledger, resumes from the durable
+    // checkpoint, and finishes the job.
+    drain(&vic_dir);
+    let records = replay(&ledger_path).unwrap();
+    assert!(
+        records
+            .iter()
+            .any(|r| matches!(r.event, JobEvent::Resumed { iteration } if iteration > 0)),
+        "restart must record a resume from a checkpoint"
+    );
+    let jobs = fold(&records);
+    assert!(matches!(jobs["job1"].last, JobEvent::Done { .. }));
+
+    let vic_result = std::fs::read(vic_cfg.job_dir("job1").join("result.json")).unwrap();
+    let vic_ckpt = std::fs::read(vic_cfg.job_dir("job1").join("job.ckpt")).unwrap();
+    assert_eq!(
+        vic_result, ref_result,
+        "kill-resumed result.json differs from uninterrupted run"
+    );
+    assert_eq!(
+        vic_ckpt, ref_ckpt,
+        "kill-resumed final checkpoint differs from uninterrupted run"
+    );
+
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let _ = std::fs::remove_dir_all(&vic_dir);
+}

@@ -130,3 +130,114 @@ fn recovered_run_matches_rerun_of_itself() {
     assert!(a.0 > 0);
     assert_eq!(a, b);
 }
+
+// --- Durable checkpoint faults -------------------------------------------
+//
+// The daemon trusts `save_checkpoint`/`load_checkpoint` with crash
+// recovery, so the on-disk format gets the same adversarial treatment as
+// the gradient path: corruption must surface as a typed error (never a
+// panic, never a silently wrong resume), and an untouched file must resume
+// bit-identically.
+
+use eplace_repro::core::{
+    initial_placement, insert_fillers, load_checkpoint, resume_global_placement,
+    run_global_placement, save_checkpoint, PlacementProblem, Stage,
+};
+
+fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("eplace_fi_ckpt_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Runs `iters` mGP iterations on the standard small design and returns
+/// the design, problem inputs and checkpoint.
+fn run_prefix(
+    iters: usize,
+) -> (
+    eplace_repro::netlist::Design,
+    EplaceConfig,
+    eplace_repro::core::GpCheckpoint,
+) {
+    let mut design = small_design();
+    let cfg = EplaceConfig::fast();
+    initial_placement(&mut design);
+    insert_fillers(&mut design, cfg.seed);
+    let problem = PlacementProblem::all_movables(&design);
+    let mut trace = Vec::new();
+    let out = run_global_placement(
+        &mut design,
+        &problem,
+        &cfg,
+        Stage::Mgp,
+        None,
+        Some(iters),
+        &mut trace,
+    )
+    .unwrap();
+    (design, cfg, out.checkpoint.unwrap())
+}
+
+#[test]
+fn checkpoint_disk_round_trip_resumes_bit_identically() {
+    let dir = ckpt_dir("roundtrip");
+    let path = dir.join("job.ckpt");
+    let (design, cfg, ck) = run_prefix(20);
+    save_checkpoint(&path, &ck).unwrap();
+    let loaded = load_checkpoint(&path).unwrap();
+    assert_eq!(loaded, ck, "disk round trip must be lossless");
+
+    // Resuming from the loaded checkpoint replays the same trajectory as
+    // resuming from the in-memory one, bit for bit.
+    let finish = |ck: &eplace_repro::core::GpCheckpoint| {
+        let mut d = design.clone();
+        let problem = PlacementProblem::all_movables(&d);
+        let mut trace = Vec::new();
+        let out =
+            resume_global_placement(&mut d, &problem, &cfg, Stage::Mgp, ck, Some(15), &mut trace)
+                .unwrap();
+        let key: Vec<(u64, u64)> = trace
+            .iter()
+            .map(|r| (r.hpwl.to_bits(), r.overflow.to_bits()))
+            .collect();
+        (out.final_hpwl.to_bits(), key)
+    };
+    assert_eq!(finish(&ck), finish(&loaded));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupting_any_byte_of_a_checkpoint_is_a_typed_error_not_a_panic() {
+    let dir = ckpt_dir("corrupt");
+    let path = dir.join("job.ckpt");
+    let (_design, _cfg, ck) = run_prefix(12);
+    save_checkpoint(&path, &ck).unwrap();
+    let pristine = std::fs::read(&path).unwrap();
+
+    // A deterministic spread of single-byte corruptions across the whole
+    // file: header, payload, vectors, trailing checksum.
+    let step = (pristine.len() / 97).max(1);
+    for at in (0..pristine.len()).step_by(step) {
+        let mut bytes = pristine.clone();
+        bytes[at] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_checkpoint(&path).expect_err(&format!("flip at byte {at} must not load"));
+        assert!(
+            matches!(err, EplaceError::Checkpoint { .. }),
+            "byte {at}: {err}"
+        );
+        assert!(err.to_string().contains("corrupt checkpoint"), "{err}");
+    }
+
+    // Truncation (a torn write without the atomic rename) is also typed.
+    std::fs::write(&path, &pristine[..pristine.len() / 2]).unwrap();
+    assert!(matches!(
+        load_checkpoint(&path).unwrap_err(),
+        EplaceError::Checkpoint { .. }
+    ));
+
+    // And the pristine bytes still load after all that.
+    std::fs::write(&path, &pristine).unwrap();
+    assert_eq!(load_checkpoint(&path).unwrap(), ck);
+    let _ = std::fs::remove_dir_all(&dir);
+}

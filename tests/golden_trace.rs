@@ -36,7 +36,7 @@ fn golden_trace_csv() -> String {
 fn placer_trace_matches_golden_snapshot() {
     let actual = golden_trace_csv();
     if std::env::var("EPLACE_BLESS").is_ok() {
-        std::fs::write(GOLDEN_PATH, &actual).expect("writing golden trace");
+        eplace_obs::write_atomic(GOLDEN_PATH, actual.as_bytes()).expect("writing golden trace");
         eprintln!("golden trace regenerated at {GOLDEN_PATH}");
         return;
     }
