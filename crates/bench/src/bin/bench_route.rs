@@ -1,0 +1,243 @@
+//! Routability scorecard on congested synthetic suites.
+//!
+//! Runs the full ePlace flow on ispd05-like designs under a scarce routing
+//! model (half the nominal track capacity) twice per suite: once with the
+//! router only (`max_rounds = 0` — score the converged placement as-is) and
+//! once with the congestion-driven inflation loop enabled. Records routed
+//! wirelength, total overflow, peak congestion, the overflow reduction the
+//! inflation bought, and the HPWL it cost into `BENCH_route.json` at the
+//! repository root.
+//!
+//! The file is re-parsed with the journal's own JSON reader before the
+//! program exits 0, and the recorded invariants are re-checked: every score
+//! finite, overflow and congestion non-negative, the with-inflation
+//! overflow never above the without-inflation overflow (the loop only
+//! accepts improving rounds), and the HPWL cost within the configured
+//! budget. A zero exit status therefore certifies a well-formed,
+//! self-consistent result.
+//!
+//! ```text
+//! cargo run --release -p eplace-bench --bin bench_route             # full sweep
+//! cargo run --release -p eplace-bench --bin bench_route -- --smoke  # one suite (CI)
+//! ```
+//!
+//! Flags: `--smoke` (smallest suite, one seed), `--seeds N` (seeds per
+//! size, default 3), `--out PATH` (output path override).
+
+use eplace_benchgen::BenchmarkConfig;
+use eplace_core::{EplaceConfig, Placer, RoutabilityConfig, RoutabilityOutcome};
+use eplace_obs::json::{parse_json, JsonValue};
+use eplace_obs::Record;
+use eplace_route::RouteConfig;
+use std::time::Instant;
+
+const SUITE_SIZES: &[usize] = &[240, 300, 400];
+const BASE_SEED: u64 = 91;
+/// Track-capacity fraction of the scarce routing model the sweep scores.
+const CAPACITY_SCALE: f64 = 0.5;
+
+struct Options {
+    smoke: bool,
+    seeds: u64,
+    out: Option<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        smoke: false,
+        seeds: 3,
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--seeds" => {
+                let v = args.next().expect("--seeds needs a value");
+                opts.seeds = v.parse().expect("bad --seeds value");
+                assert!(opts.seeds > 0, "--seeds must be positive");
+            }
+            "--out" => opts.out = Some(args.next().expect("--out needs a path")),
+            other => {
+                eprintln!("unknown flag {other}; see the module docs for usage");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+fn routability_config(max_rounds: usize) -> RoutabilityConfig {
+    RoutabilityConfig {
+        route: RouteConfig {
+            capacity_scale: CAPACITY_SCALE,
+            ..RouteConfig::default()
+        },
+        max_rounds,
+        ..RoutabilityConfig::default()
+    }
+}
+
+fn run_flow(cells: usize, seed: u64, max_rounds: usize) -> (RoutabilityOutcome, f64, f64) {
+    let design = BenchmarkConfig::ispd05_like("bench_route", seed)
+        .scale(cells)
+        .generate();
+    let cfg = EplaceConfig {
+        routability: Some(routability_config(max_rounds)),
+        ..EplaceConfig::fast()
+    };
+    let t = Instant::now();
+    let mut placer = Placer::new(design, cfg);
+    let report = placer.run().expect("ePlace flow failed on a routed suite");
+    let out = report
+        .routability
+        .expect("routability mode was on but reported nothing");
+    (out, report.final_hpwl, t.elapsed().as_secs_f64())
+}
+
+/// One arm's JSON fragment: the routed scorecard plus the flow HPWL.
+fn arm_json(name: &str, out: &RoutabilityOutcome, hpwl: f64, seconds: f64) -> String {
+    format!(
+        "\"{name}\":{{\"routed_wl\":{},\"total_overflow\":{},\"peak_congestion\":{},\
+         \"overflowed_bins\":{},\"rounds\":{},\"inflated_cells\":{},\"hpwl\":{hpwl},\
+         \"hpwl_cost\":{},\"seconds\":{seconds}}}",
+        out.final_report.routed_wl,
+        out.final_report.total_overflow,
+        out.final_report.peak_congestion,
+        out.final_report.overflowed_bins,
+        out.rounds,
+        out.inflated_cells,
+        out.hpwl_cost(),
+    )
+}
+
+fn bench_suite(cells: usize, seed: u64) -> String {
+    let (without, hpwl_without, secs_without) = run_flow(cells, seed, 0);
+    let (with, hpwl_with, secs_with) =
+        run_flow(cells, seed, RoutabilityConfig::default().max_rounds);
+    let reduction = with.overflow_reduction();
+    let fragments = [
+        arm_json("without_inflation", &without, hpwl_without, secs_without),
+        arm_json("with_inflation", &with, hpwl_with, secs_with),
+    ];
+    Record::new("suite")
+        .u64_field("cells", cells as u64)
+        .u64_field("seed", seed)
+        .f64_field("overflow_reduction", reduction)
+        .raw_field("arms", &format!("{{{}}}", fragments.join(",")))
+        .into_line()
+}
+
+/// Fails with a message unless `doc` parses and every recorded scorecard
+/// satisfies the router's invariants.
+fn validate(doc: &str) -> Result<(), String> {
+    let parsed = parse_json(doc).map_err(|e| format!("BENCH_route.json is not valid JSON: {e}"))?;
+    let suites = parsed
+        .get("suites")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing suites array")?;
+    if suites.is_empty() {
+        return Err("suites array is empty".into());
+    }
+    let budget = RoutabilityConfig::default().max_hpwl_cost;
+    for suite in suites {
+        let arms = suite.get("arms").ok_or("suite missing arms object")?;
+        let mut overflow = [0.0f64; 2];
+        for (slot, name) in ["without_inflation", "with_inflation"].iter().enumerate() {
+            let arm = arms
+                .get(name)
+                .ok_or_else(|| format!("missing arm {name}"))?;
+            for field in [
+                "routed_wl",
+                "total_overflow",
+                "peak_congestion",
+                "hpwl",
+                "hpwl_cost",
+            ] {
+                let v = arm
+                    .get(field)
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("{name} missing numeric {field}"))?;
+                if !v.is_finite() {
+                    return Err(format!("{name} {field} = {v} is not finite"));
+                }
+            }
+            let wl = arm.get("routed_wl").and_then(JsonValue::as_f64).unwrap();
+            if wl <= 0.0 {
+                return Err(format!("{name} routed_wl = {wl} must be positive"));
+            }
+            overflow[slot] = arm
+                .get("total_overflow")
+                .and_then(JsonValue::as_f64)
+                .unwrap();
+            if overflow[slot] < 0.0 {
+                return Err(format!("{name} total_overflow = {} < 0", overflow[slot]));
+            }
+            let cost = arm.get("hpwl_cost").and_then(JsonValue::as_f64).unwrap();
+            if cost > budget + 1e-9 {
+                return Err(format!(
+                    "{name} hpwl_cost = {cost} exceeds the {budget} budget"
+                ));
+            }
+        }
+        if overflow[1] > overflow[0] + 1e-9 {
+            return Err(format!(
+                "inflation made routing worse ({} -> {}): the loop must only accept improving rounds",
+                overflow[0], overflow[1]
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn default_out_path() -> std::path::PathBuf {
+    // crates/bench → repository root.
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_route.json")
+}
+
+fn main() {
+    let opts = parse_args();
+    let sizes: &[usize] = if opts.smoke {
+        &SUITE_SIZES[..1]
+    } else {
+        SUITE_SIZES
+    };
+    let seeds = if opts.smoke { 1 } else { opts.seeds };
+
+    println!("bench_route: {} size(s) x {seeds} seed(s)", sizes.len());
+    let mut suites = Vec::new();
+    for &cells in sizes {
+        for s in 0..seeds {
+            let seed = BASE_SEED + s;
+            let line = bench_suite(cells, seed);
+            println!("  cells={cells} seed={seed} done");
+            suites.push(line);
+        }
+    }
+
+    let mut suites_json = String::from("[");
+    suites_json.push_str(&suites.join(","));
+    suites_json.push(']');
+    let doc = Record::new("bench_route")
+        .str_field("suite_family", "ispd05_like")
+        .f64_field("capacity_scale", CAPACITY_SCALE)
+        .u64_field("seeds_per_size", seeds)
+        .bool_field("smoke", opts.smoke)
+        .raw_field("suites", &suites_json)
+        .into_line();
+
+    if let Err(e) = validate(&doc) {
+        eprintln!("bench_route: self-validation failed: {e}");
+        std::process::exit(1);
+    }
+
+    let out = opts
+        .out
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(default_out_path);
+    eplace_obs::write_atomic(&out, format!("{doc}\n").as_bytes())
+        .expect("writing BENCH_route.json");
+    println!("bench_route: validated result written to {}", out.display());
+}

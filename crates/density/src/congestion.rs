@@ -41,6 +41,47 @@ impl CongestionMap {
     ///
     /// Panics if the grid is empty or the region degenerate.
     pub fn rudy(design: &Design, nx: usize, ny: usize, wire_width: f64) -> Self {
+        Self::rudy_impl(design, nx, ny, wire_width, |pin| design.pin_position(pin))
+    }
+
+    /// Builds the RUDY map with the positions of `movable` cells overridden
+    /// by `positions` (parallel slices) — the form the global-placement loop
+    /// uses, where the optimizer's in-flight solution has not yet been
+    /// committed to the design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length, an index is out of bounds, or
+    /// the grid/region is degenerate (as [`CongestionMap::rudy`]).
+    pub fn rudy_with_positions(
+        design: &Design,
+        nx: usize,
+        ny: usize,
+        wire_width: f64,
+        movable: &[usize],
+        positions: &[eplace_geometry::Point],
+    ) -> Self {
+        assert_eq!(
+            movable.len(),
+            positions.len(),
+            "movable/positions length mismatch"
+        );
+        let mut pos: Vec<eplace_geometry::Point> = design.cells.iter().map(|c| c.pos).collect();
+        for (&i, &p) in movable.iter().zip(positions) {
+            pos[i] = p;
+        }
+        Self::rudy_impl(design, nx, ny, wire_width, |pin| {
+            pos[pin.cell.index()] + pin.offset
+        })
+    }
+
+    fn rudy_impl(
+        design: &Design,
+        nx: usize,
+        ny: usize,
+        wire_width: f64,
+        pin_pos: impl Fn(&eplace_netlist::Pin) -> eplace_geometry::Point,
+    ) -> Self {
         assert!(nx > 0 && ny > 0, "empty congestion grid");
         assert!(design.region.is_valid(), "degenerate region");
         let region = design.region;
@@ -60,7 +101,7 @@ impl CongestionMap {
                 f64::NEG_INFINITY,
             );
             for pin in &net.pins {
-                let p = design.pin_position(pin);
+                let p = pin_pos(pin);
                 bb.xl = bb.xl.min(p.x);
                 bb.xh = bb.xh.max(p.x);
                 bb.yl = bb.yl.min(p.y);

@@ -146,3 +146,123 @@ fn mirror_reflection_preserves_energy() {
         assert!((e1 - e2).abs() < 1e-6 * scale, "e1 {e1} vs e2 {e2}");
     });
 }
+
+// --- CongestionMap (RUDY) properties ------------------------------------
+
+use crate::CongestionMap;
+use eplace_netlist::{CellKind, Design, DesignBuilder};
+
+/// Random multi-net design with all pins strictly inside the region (so
+/// none of the RUDY wire volume is clipped away at the edges).
+fn arb_congestion_design(g: &mut Gen) -> Design {
+    let mut b = DesignBuilder::new("rudy", Rect::new(0.0, 0.0, 128.0, 128.0));
+    let n_cells = g.usize_range(2, 24);
+    let ids: Vec<_> = (0..n_cells)
+        .map(|i| b.add_cell(format!("c{i}"), 1.0, 1.0, CellKind::StdCell))
+        .collect();
+    let n_nets = g.usize_range(1, 12);
+    for k in 0..n_nets {
+        let degree = g.usize_range(2, 4.min(n_cells));
+        let pins: Vec<_> = (0..degree)
+            .map(|_| (*g.choose(&ids), Point::ORIGIN))
+            .collect();
+        b.add_net(format!("n{k}"), pins);
+    }
+    let mut d = b.build();
+    for id in &ids {
+        d.cells[id.index()].pos = Point::new(g.f64_range(1.0, 127.0), g.f64_range(1.0, 127.0));
+    }
+    for net in &mut d.nets {
+        net.weight = g.f64_range(0.5, 3.0);
+    }
+    d
+}
+
+#[test]
+fn rudy_total_demand_equals_weighted_wire_volume() {
+    check(
+        "rudy_total_demand_equals_weighted_wire_volume",
+        CASES,
+        |g| {
+            // Conservation: with no clipping, the deposited volume is exactly
+            // Σ_nets weight · wire_width · HPWL.
+            let d = arb_congestion_design(g);
+            let wire_width = g.f64_range(0.5, 2.0);
+            let map = CongestionMap::rudy(&d, 16, 16, wire_width);
+            let bin_area = (128.0 / 16.0) * (128.0 / 16.0);
+            let total: f64 = map.demand_map().iter().sum::<f64>() * bin_area;
+            let expect: f64 = d.nets.iter().map(|n| wire_width * d.net_hpwl(n)).sum();
+            assert!(
+                (total - expect).abs() < 1e-6 * expect.max(1.0),
+                "total {total} vs expected {expect}"
+            );
+        },
+    );
+}
+
+#[test]
+fn rudy_peak_dominates_mean() {
+    check("rudy_peak_dominates_mean", CASES, |g| {
+        let d = arb_congestion_design(g);
+        let map = CongestionMap::rudy(&d, 16, 16, 1.0);
+        assert!(map.peak() >= map.mean(), "{} < {}", map.peak(), map.mean());
+        assert!(map.peak().is_finite());
+        assert!(map.hotspot_ratio() >= 1.0 - 1e-12);
+    });
+}
+
+#[test]
+fn rudy_is_bitwise_deterministic() {
+    check("rudy_is_bitwise_deterministic", CASES, |g| {
+        let d = arb_congestion_design(g);
+        let bits = |m: &CongestionMap| -> Vec<u64> {
+            m.demand_map().iter().map(|v| v.to_bits()).collect()
+        };
+        let a = CongestionMap::rudy(&d, 16, 16, 1.0);
+        let b = CongestionMap::rudy(&d, 16, 16, 1.0);
+        assert_eq!(bits(&a), bits(&b));
+    });
+}
+
+#[test]
+fn rudy_clips_at_region_edges_without_losing_finiteness() {
+    check("rudy_clips_at_region_edges", CASES, |g| {
+        // Push some cells outside the region: clipped nets deposit at most
+        // their full volume, never produce non-finite demand, and never
+        // write outside the grid (the map constructor would panic).
+        let mut d = arb_congestion_design(g);
+        for c in d.cells.iter_mut() {
+            if g.bool(0.4) {
+                c.pos = Point::new(g.f64_range(-64.0, 192.0), g.f64_range(-64.0, 192.0));
+            }
+        }
+        let map = CongestionMap::rudy(&d, 16, 16, 1.0);
+        let bin_area = (128.0 / 16.0) * (128.0 / 16.0);
+        let total: f64 = map.demand_map().iter().sum::<f64>() * bin_area;
+        let full: f64 = d.nets.iter().map(|n| d.net_hpwl(n)).sum();
+        assert!(total.is_finite());
+        assert!(map.demand_map().iter().all(|v| v.is_finite() && *v >= 0.0));
+        assert!(
+            total <= full * (1.0 + 1e-9) + 1e-9,
+            "clipping must not create volume: {total} > {full}"
+        );
+    });
+}
+
+#[test]
+fn rudy_with_identity_positions_matches_rudy() {
+    check("rudy_with_identity_positions_matches_rudy", CASES, |g| {
+        // The position-override constructor used by the in-loop gauges must
+        // agree bit-for-bit with the plain one when fed the design's own
+        // positions.
+        let d = arb_congestion_design(g);
+        let movable: Vec<usize> = (0..d.cells.len()).collect();
+        let positions: Vec<Point> = d.cells.iter().map(|c| c.pos).collect();
+        let a = CongestionMap::rudy(&d, 16, 16, 1.0);
+        let b = CongestionMap::rudy_with_positions(&d, 16, 16, 1.0, &movable, &positions);
+        let bits = |m: &CongestionMap| -> Vec<u64> {
+            m.demand_map().iter().map(|v| v.to_bits()).collect()
+        };
+        assert_eq!(bits(&a), bits(&b));
+    });
+}

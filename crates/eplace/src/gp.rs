@@ -2,10 +2,14 @@ use crate::cost::EplaceCost;
 use crate::recover::{sentinel_check, GpCheckpoint};
 use crate::trace::{IterationRecord, RuntimeProfile, Stage};
 use crate::{EplaceConfig, NesterovOptimizer, PlacementProblem};
-use eplace_density::grid_dimension;
+use eplace_density::{grid_dimension, CongestionMap};
 use eplace_errors::{DivergenceReport, EplaceError, Severity, ValidationIssue};
 use eplace_netlist::Design;
 use eplace_obs::{Record, BACKTRACK_EDGES};
+
+/// Grid dimension of the per-iteration RUDY congestion gauges (observability
+/// only — never fed back into the optimizer).
+const RUDY_GAUGE_DIM: usize = 16;
 
 /// Span / counter names need `&'static str`; formatting per iteration would
 /// allocate in the hot loop.
@@ -14,6 +18,7 @@ fn iter_counter(stage: Stage) -> &'static str {
         Stage::Mgp => "iters_mgp",
         Stage::Cgp => "iters_cgp",
         Stage::FillerOnly => "iters_fillergp",
+        Stage::RouteRefine => "iters_routegp",
         Stage::Mip | Stage::Mlg | Stage::Cdp => "iters_other",
     }
 }
@@ -339,6 +344,20 @@ fn run_guarded(
             obs.set_gauge("alpha", info.alpha);
             obs.set_gauge("lambda", cost.lambda);
             obs.set_gauge("gamma", cost.gamma);
+            // RUDY congestion of the in-flight placement (read-only: the
+            // map is built from the optimizer's solution and never feeds
+            // back, so obs-on trajectories stay bit-identical to obs-off).
+            let rudy = CongestionMap::rudy_with_positions(
+                design,
+                RUDY_GAUGE_DIM,
+                RUDY_GAUGE_DIM,
+                1.0,
+                &problem.movable,
+                optimizer.solution(),
+            );
+            let (rudy_peak, rudy_mean) = (rudy.peak(), rudy.mean());
+            obs.set_gauge("congestion_peak", rudy_peak);
+            obs.set_gauge("congestion_mean", rudy_mean);
             obs.observe(
                 "backtracks_per_iter",
                 BACKTRACK_EDGES,
@@ -354,6 +373,8 @@ fn run_guarded(
                         .f64_field("alpha", info.alpha)
                         .f64_field("lambda", cost.lambda)
                         .f64_field("gamma", cost.gamma)
+                        .f64_field("rudy_peak", rudy_peak)
+                        .f64_field("rudy_mean", rudy_mean)
                         .u64_field("backtracks", info.backtracks as u64),
                 );
             }

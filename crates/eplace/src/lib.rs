@@ -44,6 +44,7 @@ mod nesterov;
 mod placer;
 mod problem;
 mod recover;
+mod routability;
 mod trace;
 
 pub use cancel::CancelToken;
@@ -56,12 +57,14 @@ pub use nesterov::{Gradient, NesterovCheckpoint, NesterovOptimizer, StepInfo};
 pub use placer::{PlacementReport, Placer};
 pub use problem::PlacementProblem;
 pub use recover::{FaultKind, GpCheckpoint, GradientFault};
+pub use routability::{RoutabilityConfig, RoutabilityOutcome};
 pub use trace::{
     trace_endpoints, trace_to_csv, trace_to_csv_checked, validate_trace, IterationRecord,
     RuntimeProfile, Stage, StageTiming,
 };
 
 pub use eplace_obs::{Obs, PhaseTime};
+pub use eplace_route::{RoutabilityReport, RouteConfig};
 
 use eplace_mlg::MlgConfig;
 
@@ -157,6 +160,14 @@ pub struct EplaceConfig {
     /// without ever feeding back into the numerics — traces stay
     /// bit-identical either way.
     pub obs: Obs,
+    /// Routability mode (the paper §VIII's "extension towards
+    /// routability"): after global placement, route the design with the
+    /// probabilistic global router, inflate cells in overflowed gcells, and
+    /// run bounded refinement rounds until the routing overflow target or
+    /// round budget is hit ([`crate::RoutabilityConfig`]). `None` (the
+    /// default) skips the loop entirely, leaving the flow bit-identical to
+    /// a build without the subsystem.
+    pub routability: Option<RoutabilityConfig>,
     /// Cooperative cancellation flag, polled once per global-placement
     /// iteration. The inert default never cancels and adds nothing
     /// observable to the trajectory; the placement-service daemon installs
@@ -197,6 +208,7 @@ impl Default for EplaceConfig {
             known_optimum_hpwl: None,
             fault: None,
             obs: Obs::disabled(),
+            routability: None,
             cancel: CancelToken::default(),
         }
     }

@@ -1,3 +1,4 @@
+use crate::routability::{run_routability_loop, RoutabilityOutcome};
 use crate::trace::{IterationRecord, RuntimeProfile, Stage, StageTiming};
 use crate::{
     initial_placement_with_obs, insert_fillers, run_global_placement, EplaceConfig, MipReport, Obs,
@@ -63,6 +64,10 @@ pub struct PlacementReport {
     /// [`EplaceConfig::obs`] is upgraded to a metrics-only recorder for the
     /// duration of the run.
     pub phase_times: Vec<PhaseTime>,
+    /// Routability-mode outcome: routing scorecards before and after the
+    /// congestion-driven inflation loop ([`crate::RoutabilityConfig`]).
+    /// `None` when the mode is off (the default).
+    pub routability: Option<RoutabilityOutcome>,
     /// Iterations recorded per global-placement stage, in flow order.
     pub iterations_per_stage: Vec<(Stage, usize)>,
     /// Journal lines/flushes lost to I/O failures (the sink keeps running
@@ -239,6 +244,20 @@ impl Placer {
             });
         }
 
+        // --- Routability (optional, §VIII): route, inflate, refine -----------
+        let mut routability = None;
+        if let Some(rcfg) = cfg.routability.clone() {
+            let t = Instant::now();
+            routability = Some(run_routability_loop(design, &cfg, &rcfg, &mut trace)?);
+            if let Some(out) = &routability {
+                recoveries += out.recoveries;
+            }
+            timings.push(StageTiming {
+                stage: Stage::RouteRefine,
+                seconds: t.elapsed().as_secs_f64(),
+            });
+        }
+
         // --- cDP -------------------------------------------------------------
         let t = Instant::now();
         let cdp_span = obs.span("cdp");
@@ -299,6 +318,7 @@ impl Placer {
             legalization: legal,
             legalization_error: legal_err,
             detail_gain,
+            routability,
             stage_timings: timings,
             mgp_profile: mgp.profile,
             iterations_per_stage: iterations_per_stage(&trace),

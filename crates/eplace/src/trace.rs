@@ -14,6 +14,9 @@ pub enum Stage {
     FillerOnly,
     /// Standard-cell global placement.
     Cgp,
+    /// Congestion-driven refinement round (routability mode): bounded
+    /// global placement after cell inflation.
+    RouteRefine,
     /// Legalization + detail placement.
     Cdp,
 }
@@ -28,6 +31,7 @@ impl Stage {
             Stage::Mlg => "mlg",
             Stage::FillerOnly => "fillergp",
             Stage::Cgp => "cgp",
+            Stage::RouteRefine => "routegp",
             Stage::Cdp => "cdp",
         }
     }
@@ -41,6 +45,7 @@ impl fmt::Display for Stage {
             Stage::Mlg => "mLG",
             Stage::FillerOnly => "fillerGP",
             Stage::Cgp => "cGP",
+            Stage::RouteRefine => "routeGP",
             Stage::Cdp => "cDP",
         };
         f.write_str(s)
@@ -217,6 +222,8 @@ mod tests {
         assert_eq!(Stage::Mgp.to_string(), "mGP");
         assert_eq!(Stage::Cdp.to_string(), "cDP");
         assert_eq!(Stage::FillerOnly.to_string(), "fillerGP");
+        assert_eq!(Stage::RouteRefine.to_string(), "routeGP");
+        assert_eq!(Stage::RouteRefine.key(), "routegp");
     }
 
     #[test]

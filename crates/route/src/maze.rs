@@ -1,0 +1,277 @@
+//! Deterministic A* maze routing over the capacity grid.
+//!
+//! The fallback router for segments that cross overflowed gcells: instead of
+//! spreading expectation over shortest paths, it commits one concrete path
+//! that *detours around* congestion. Edge costs are the geometric move
+//! length scaled by a congestion penalty on the move's directional
+//! utilization, so the router trades bounded extra wirelength for overflow
+//! relief. The heuristic is the plain Manhattan distance (always ≤ true
+//! cost, since the penalty multiplier is ≥ 1), so the search is admissible
+//! and returns a cost-optimal path.
+//!
+//! Determinism: floating-point costs are compared with `total_cmp`, and the
+//! open list breaks cost ties on the gcell index — the expansion order is a
+//! pure function of the grid state, never of allocation or hash order.
+
+use crate::decompose::Segment;
+use crate::grid::{CapacityGrid, RouteSink};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Congestion penalty: a move at utilization `u` costs
+/// `len × (1 + weight × max(0, u)²)`. Quadratic, so lightly-used gcells are
+/// near-free and saturated ones strongly repel.
+fn penalty(util: f64, weight: f64) -> f64 {
+    let u = util.max(0.0);
+    1.0 + weight * u * u
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Open {
+    /// f = g + h, the A* priority.
+    f: f64,
+    /// Cost from the source.
+    g: f64,
+    /// Gcell index (row-major).
+    node: u32,
+}
+
+impl PartialEq for Open {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Open {}
+impl PartialOrd for Open {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Open {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the smallest f pops first,
+        // ties broken on the smaller gcell index for determinism.
+        other
+            .f
+            .total_cmp(&self.f)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Scratch buffers reused across maze queries; [`MazeScratch::path`] holds
+/// the last query's path as gcell indices from target back to source.
+#[derive(Debug)]
+pub struct MazeScratch {
+    g_score: Vec<f64>,
+    came_from: Vec<u32>,
+    open: BinaryHeap<Open>,
+    /// Last routed path, target-first (inclusive of both endpoints).
+    pub path: Vec<u32>,
+}
+
+impl MazeScratch {
+    /// Buffers sized for `grid`.
+    pub fn for_grid(grid: &CapacityGrid) -> Self {
+        let n = grid.nx() * grid.ny();
+        MazeScratch {
+            g_score: vec![f64::INFINITY; n],
+            came_from: vec![u32::MAX; n],
+            open: BinaryHeap::new(),
+            path: Vec::new(),
+        }
+    }
+}
+
+/// Finds the congestion-cheapest path for `seg` and leaves it in
+/// `scratch.path` (target-first). Returns the geometric path length in
+/// distance units. The grid is connected, so a path always exists; a
+/// zero-length segment yields an empty path and length 0.
+pub fn maze_search(
+    seg: &Segment,
+    grid: &CapacityGrid,
+    scratch: &mut MazeScratch,
+    congestion_weight: f64,
+) -> f64 {
+    let nx = grid.nx();
+    let ny = grid.ny();
+    let (sx, sy) = seg.from;
+    let (tx, ty) = seg.to;
+    let src = (sy * nx + sx) as u32;
+    let dst = (ty * nx + tx) as u32;
+    scratch.path.clear();
+    if src == dst {
+        return 0.0;
+    }
+    let bin_w = grid.bin_w();
+    let bin_h = grid.bin_h();
+    let h = |node: u32| -> f64 {
+        let x = (node as usize) % nx;
+        let y = (node as usize) / nx;
+        x.abs_diff(tx) as f64 * bin_w + y.abs_diff(ty) as f64 * bin_h
+    };
+
+    scratch.g_score.fill(f64::INFINITY);
+    scratch.came_from.fill(u32::MAX);
+    scratch.open.clear();
+    scratch.g_score[src as usize] = 0.0;
+    scratch.open.push(Open {
+        f: h(src),
+        g: 0.0,
+        node: src,
+    });
+
+    while let Some(cur) = scratch.open.pop() {
+        if cur.node == dst {
+            break;
+        }
+        if cur.g > scratch.g_score[cur.node as usize] {
+            continue; // stale heap entry
+        }
+        let x = (cur.node as usize) % nx;
+        let y = (cur.node as usize) / nx;
+        // Neighbor order is fixed (−x, +x, −y, +y): with the index
+        // tie-break this makes expansion fully deterministic.
+        let mut neighbors = [(0usize, 0usize, false); 4];
+        let mut n = 0;
+        if x > 0 {
+            neighbors[n] = (x - 1, y, true);
+            n += 1;
+        }
+        if x + 1 < nx {
+            neighbors[n] = (x + 1, y, true);
+            n += 1;
+        }
+        if y > 0 {
+            neighbors[n] = (x, y - 1, false);
+            n += 1;
+        }
+        if y + 1 < ny {
+            neighbors[n] = (x, y + 1, false);
+            n += 1;
+        }
+        for &(nxt_x, nxt_y, horizontal) in &neighbors[..n] {
+            let nxt = (nxt_y * nx + nxt_x) as u32;
+            let util = if horizontal {
+                0.5 * (grid.h_util(x, y) + grid.h_util(nxt_x, nxt_y))
+            } else {
+                0.5 * (grid.v_util(x, y) + grid.v_util(nxt_x, nxt_y))
+            };
+            let len = if horizontal { bin_w } else { bin_h };
+            let g = cur.g + len * penalty(util, congestion_weight);
+            if g < scratch.g_score[nxt as usize] {
+                scratch.g_score[nxt as usize] = g;
+                scratch.came_from[nxt as usize] = cur.node;
+                scratch.open.push(Open {
+                    f: g + h(nxt),
+                    g,
+                    node: nxt,
+                });
+            }
+        }
+    }
+
+    // Walk the path back (target-first) and measure it.
+    let mut length = 0.0;
+    let mut node = dst;
+    scratch.path.push(dst);
+    while node != src {
+        let prev = scratch.came_from[node as usize];
+        debug_assert_ne!(prev, u32::MAX, "A* on a connected grid always reaches dst");
+        length += if (prev as usize) % nx == (node as usize) % nx {
+            bin_h
+        } else {
+            bin_w
+        };
+        scratch.path.push(prev);
+        node = prev;
+    }
+    length
+}
+
+/// Deposits a committed maze path (as produced by [`maze_search`]) into
+/// `sink` at full `weight` per move.
+pub fn deposit_path(path: &[u32], nx: usize, weight: f64, sink: &mut impl RouteSink) {
+    for pair in path.windows(2) {
+        let (a, b) = (pair[0] as usize, pair[1] as usize);
+        let (x0, y0) = (a % nx, a / nx);
+        let (x1, y1) = (b % nx, b / nx);
+        if y0 == y1 {
+            sink.h_run(x0, x1, y0, weight);
+        } else {
+            sink.v_run(y0, y1, x0, weight);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::DemandSink;
+    use eplace_geometry::Rect;
+
+    fn grid() -> CapacityGrid {
+        CapacityGrid::new(Rect::new(0.0, 0.0, 80.0, 80.0), 8, 8, 4.0, 4.0)
+    }
+
+    fn seg(from: (usize, usize), to: (usize, usize)) -> Segment {
+        Segment {
+            from,
+            to,
+            weight: 1.0,
+            net: 0,
+        }
+    }
+
+    #[test]
+    fn uncongested_route_is_manhattan_shortest() {
+        let g = grid();
+        let mut s = DemandSink::for_grid(&g);
+        let mut scratch = MazeScratch::for_grid(&g);
+        let len = maze_search(&seg((0, 0), (5, 3)), &g, &mut scratch, 2.0);
+        assert_eq!(len, 80.0, "5 h-moves + 3 v-moves at 10 units each");
+        deposit_path(&scratch.path, g.nx(), 1.0, &mut s);
+        let total: f64 = s.h.iter().sum::<f64>() + s.v.iter().sum::<f64>();
+        assert!((total - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn congestion_wall_forces_detour() {
+        let mut g = grid();
+        // Saturate a wall of h-demand at columns 3–5, rows 0..7 — only
+        // row 7 is left open.
+        for y in 0..7 {
+            g.h_run(2, 6, y, 40.0);
+        }
+        let mut scratch = MazeScratch::for_grid(&g);
+        let len = maze_search(&seg((0, 0), (7, 0)), &g, &mut scratch, 8.0);
+        assert!(len > 70.0, "must detour around the wall: {len}");
+        // The detour must not cross the saturated row-0 section.
+        let mut s = DemandSink::for_grid(&g);
+        deposit_path(&scratch.path, g.nx(), 1.0, &mut s);
+        assert_eq!(s.h[4], 0.0, "saturated gcell (4,0) untouched");
+    }
+
+    #[test]
+    fn repeated_queries_are_bitwise_identical() {
+        let g = grid();
+        let mut scratch = MazeScratch::for_grid(&g);
+        let run = |scratch: &mut MazeScratch| {
+            let len = maze_search(&seg((1, 6), (6, 1)), &g, scratch, 2.0);
+            (len.to_bits(), scratch.path.clone())
+        };
+        let a = run(&mut scratch);
+        let b = run(&mut scratch);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_length_segment_is_free() {
+        let g = grid();
+        let mut scratch = MazeScratch::for_grid(&g);
+        assert_eq!(
+            maze_search(&seg((3, 3), (3, 3)), &g, &mut scratch, 2.0),
+            0.0
+        );
+        assert!(scratch.path.is_empty());
+    }
+}

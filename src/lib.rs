@@ -68,3 +68,7 @@ pub use eplace_errors as errors;
 /// Observability: spans, metrics, and the JSONL run journal
 /// ([`Obs`](eplace_obs::Obs)).
 pub use eplace_obs as obs;
+
+/// Routability subsystem: capacity grid, probabilistic global router with
+/// A* maze fallback, routed-wirelength scoring.
+pub use eplace_route as route;

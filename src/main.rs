@@ -27,6 +27,7 @@ struct Args {
     threads: usize,
     journal: Option<String>,
     metrics_summary: bool,
+    routability: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -40,6 +41,7 @@ fn parse_args() -> Result<Args, String> {
         threads: 1,
         journal: None,
         metrics_summary: false,
+        routability: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -66,6 +68,7 @@ fn parse_args() -> Result<Args, String> {
             "--trace-csv" => args.trace_csv = Some(value("--trace-csv")?),
             "--journal" => args.journal = Some(value("--journal")?),
             "--metrics-summary" => args.metrics_summary = true,
+            "--routability" => args.routability = true,
             "--threads" => {
                 args.threads = value("--threads")?
                     .parse()
@@ -75,14 +78,17 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: eplace-repro [--aux FILE.aux] [--out FILE.pl] [--rho RHO_T] \
                      [--demo N_CELLS] [--fast] [--trace-csv FILE] [--threads N] \
-                     [--journal FILE.jsonl] [--metrics-summary]\n\
+                     [--journal FILE.jsonl] [--metrics-summary] [--routability]\n\
                      \n\
                      --threads 1 (default) is the exact serial placer; N >= 2 \
                      parallelizes the kernels deterministically; 0 auto-detects.\n\
                      --journal writes one JSONL record per optimizer iteration plus \
                      an end-of-run summary (validate with the obs_check binary);\n\
                      --metrics-summary prints the per-phase runtime table after the \
-                     run. Neither affects the placement result."
+                     run. Neither affects the placement result.\n\
+                     --routability routes the converged placement with the built-in \
+                     probabilistic global router and runs congestion-driven \
+                     inflation rounds before legalization."
                 );
                 std::process::exit(0);
             }
@@ -134,6 +140,9 @@ fn main() -> ExitCode {
         EplaceConfig::default()
     };
     config.threads = args.threads;
+    if args.routability {
+        config.routability = Some(eplace_repro::core::RoutabilityConfig::default());
+    }
     if let Some(path) = &args.journal {
         config.obs = match eplace_repro::obs::Obs::to_file(path) {
             Ok(obs) => obs,
@@ -165,7 +174,26 @@ fn main() -> ExitCode {
             mlg.macro_overlap_before, mlg.macro_overlap_after, mlg.legalized
         );
     }
-    for stage in [Stage::Mip, Stage::Mgp, Stage::Mlg, Stage::Cgp, Stage::Cdp] {
+    if let Some(route) = &report.routability {
+        println!(
+            "routability       : routed WL {:.4e}, overflow {:.1} -> {:.1} tracks \
+             ({} rounds, {} cells inflated, peak congestion {:.3})",
+            route.final_report.routed_wl,
+            route.initial.total_overflow,
+            route.final_report.total_overflow,
+            route.rounds,
+            route.inflated_cells,
+            route.final_report.peak_congestion,
+        );
+    }
+    for stage in [
+        Stage::Mip,
+        Stage::Mgp,
+        Stage::Mlg,
+        Stage::Cgp,
+        Stage::RouteRefine,
+        Stage::Cdp,
+    ] {
         let s = report.stage_seconds(stage);
         if s > 0.0 {
             println!("{stage:>18}: {s:.2}s");

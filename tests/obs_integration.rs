@@ -163,3 +163,33 @@ fn mixed_flow_reports_every_stage() {
     }
     assert!(!journal.lines().is_empty());
 }
+
+#[test]
+fn journal_iter_lines_carry_rudy_congestion_gauges() {
+    // Satellite of the routability subsystem: every journaled iteration
+    // reports the RUDY congestion of the in-flight placement. The gauges
+    // are read-only — `journaling_never_perturbs_the_trajectory` above
+    // proves the numerics cannot see them.
+    let (obs, journal) = Obs::memory();
+    run_with(small_design(86), obs);
+    let mut iter_lines = 0;
+    for line in journal.lines() {
+        let v = parse_json(&line).expect("journal line must parse");
+        if v.get("type").and_then(JsonValue::as_str) != Some("iter") {
+            continue;
+        }
+        iter_lines += 1;
+        let peak = v
+            .get("rudy_peak")
+            .and_then(JsonValue::as_f64)
+            .expect("iter record carries rudy_peak");
+        let mean = v
+            .get("rudy_mean")
+            .and_then(JsonValue::as_f64)
+            .expect("iter record carries rudy_mean");
+        assert!(peak.is_finite() && mean.is_finite());
+        assert!(peak >= mean, "peak {peak} < mean {mean}");
+        assert!(mean >= 0.0);
+    }
+    assert!(iter_lines > 0, "flow must journal iterations");
+}
