@@ -12,7 +12,9 @@
 
 use eplace_benchgen::BenchmarkConfig;
 use eplace_core::PlacementProblem;
-use eplace_core::{initial_placement, insert_fillers, EplaceCost, NesterovOptimizer};
+use eplace_core::{
+    initial_placement, insert_fillers, EplaceCost, NesterovOptimizer, SpectralEngine,
+};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
@@ -90,5 +92,29 @@ fn steady_state_gp_iteration_allocates_nothing() {
     );
     // Sanity: the audited steps actually did the work.
     assert!(cost.evaluations >= 8);
+    assert!(optimizer.solution().iter().all(|p| p.is_finite()));
+
+    // Engine v2 (symmetry-halved mixed-radix kernels) must hold the same
+    // invariant: the folded-real scratch (half-FFT ping-pong buffers and
+    // the Vh staging row) is sized with the plan, so after a fresh warm-up
+    // the solve runs out of the same pooled storage.
+    cost.set_spectral_engine(SpectralEngine::V2);
+    for _ in 0..2 {
+        optimizer.step(&mut cost);
+    }
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    for _ in 0..3 {
+        optimizer.step(&mut cost);
+    }
+    ARMED.store(false, Ordering::SeqCst);
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        allocs, 0,
+        "steady-state engine-v2 optimizer steps performed {allocs} heap \
+         allocations; the mixed-radix spectral path must reuse the pooled \
+         scratch buffers"
+    );
     assert!(optimizer.solution().iter().all(|p| p.is_finite()));
 }

@@ -265,6 +265,21 @@ impl EplaceError {
         matches!(self, EplaceError::Diverged(_))
     }
 
+    /// Shorthand for a single-issue [`EplaceError::Validation`] at
+    /// [`Severity::Error`] — the typed rejection path for contract-violating
+    /// arguments (e.g. a non-power-of-two transform size) in library crates
+    /// that must not panic.
+    pub fn invalid(subject: impl Into<String>, message: impl Into<String>) -> Self {
+        EplaceError::Validation {
+            issues: vec![ValidationIssue {
+                severity: Severity::Error,
+                subject: subject.into(),
+                message: message.into(),
+                repaired: false,
+            }],
+        }
+    }
+
     /// Shorthand for a [`EplaceError::Checkpoint`].
     pub fn checkpoint(path: impl Into<String>, message: impl Into<String>) -> Self {
         EplaceError::Checkpoint {

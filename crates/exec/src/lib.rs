@@ -301,6 +301,145 @@ pub fn for_each_unit_pooled<T, S, M, F>(
     });
 }
 
+/// A precomputed unit-distribution schedule: which contiguous span of units
+/// each worker owns for a fixed `(units, threads)` pair.
+///
+/// [`for_each_unit_pooled`] recomputes the worker count and the base/remainder
+/// split on every call; a `UnitSchedule` captures that split once (plans cache
+/// one per `ExecConfig`) and [`for_each_unit_scheduled`] replays it. The spans
+/// are the *exact* partition `for_each_unit_pooled` would produce for the same
+/// inputs, so swapping one for the other never moves a unit between workers —
+/// and unit outputs are disjoint, so results stay bitwise identical either
+/// way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitSchedule {
+    units: usize,
+    threads: usize,
+    /// Per-worker unit spans, in worker order; they tile `0..units` exactly.
+    spans: Vec<Range<usize>>,
+}
+
+impl UnitSchedule {
+    /// Computes the schedule for `units` work units under `exec` — the same
+    /// `workers = threads.min(units)` count and base/remainder split the
+    /// unscheduled entry points use.
+    pub fn new(units: usize, exec: &ExecConfig) -> Self {
+        let threads = exec.threads();
+        let workers = if exec.is_serial() || units <= 1 {
+            1
+        } else {
+            threads.min(units)
+        };
+        let base = units / workers;
+        let rem = units % workers;
+        let mut spans = Vec::with_capacity(workers);
+        let mut first = 0;
+        for w in 0..workers {
+            let take = base + usize::from(w < rem);
+            spans.push(first..first + take);
+            first += take;
+        }
+        UnitSchedule {
+            units,
+            threads,
+            spans,
+        }
+    }
+
+    /// The number of work units this schedule distributes.
+    #[inline]
+    pub fn units(&self) -> usize {
+        self.units
+    }
+
+    /// The thread count the schedule was computed for.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The number of workers that will actually run (`threads.min(units)`,
+    /// floored at 1).
+    #[inline]
+    pub fn workers(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// The per-worker unit spans, in worker order.
+    #[inline]
+    pub fn spans(&self) -> &[Range<usize>] {
+        &self.spans
+    }
+}
+
+/// [`for_each_unit_pooled`] driven by a precomputed [`UnitSchedule`] instead
+/// of a per-call split. The schedule must have been built for
+/// `data.len() / unit_len` units; worker `w` processes exactly the units in
+/// `schedule.spans()[w]`, with `pool[w]` as its scratch.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a multiple of `unit_len`, or if the
+/// schedule's unit count differs from `data.len() / unit_len`.
+pub fn for_each_unit_scheduled<T, S, M, F>(
+    schedule: &UnitSchedule,
+    data: &mut [T],
+    unit_len: usize,
+    pool: &mut Vec<S>,
+    make_scratch: M,
+    work: F,
+) where
+    T: Send,
+    S: Send,
+    M: Fn() -> S,
+    F: Fn(usize, &mut [T], &mut S) + Sync,
+{
+    assert!(unit_len > 0, "unit length must be positive");
+    assert_eq!(
+        data.len() % unit_len,
+        0,
+        "data length {} is not a multiple of unit length {}",
+        data.len(),
+        unit_len
+    );
+    let units = data.len() / unit_len;
+    assert_eq!(
+        schedule.units, units,
+        "schedule built for {} units applied to {}",
+        schedule.units, units
+    );
+    let workers = schedule.workers();
+    while pool.len() < workers {
+        pool.push(make_scratch());
+    }
+    if workers == 1 {
+        let scratch = &mut pool[0];
+        for (i, unit) in data.chunks_mut(unit_len).enumerate() {
+            work(i, unit, scratch);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut scratches = &mut pool[..workers];
+        for span in &schedule.spans {
+            let take = span.len() * unit_len;
+            let (mine, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let (slot, scratch_tail) = scratches.split_at_mut(1);
+            scratches = scratch_tail;
+            let start = span.start;
+            let work = &work;
+            scope.spawn(move || {
+                let scratch = &mut slot[0];
+                for (k, unit) in mine.chunks_mut(unit_len).enumerate() {
+                    work(start + k, unit, scratch);
+                }
+            });
+        }
+    });
+}
+
 /// [`map_chunks`] with caller-owned per-chunk state: chunk `i` of
 /// `num_chunks` fixed ranges of `0..len` runs `work(i, range, &mut pool[i])`
 /// exactly once, with `pool` topped up beforehand via `make_scratch` (on the
@@ -506,6 +645,67 @@ mod tests {
             assert_eq!(serial, run(threads, &mut pool), "threads {threads}");
             assert_eq!(pool.len(), threads.min(16));
         }
+    }
+
+    #[test]
+    fn unit_schedule_replicates_pooled_partition() {
+        // The schedule's spans must be the exact partition
+        // for_each_unit_pooled derives inline: workers = threads.min(units),
+        // earlier workers take the remainder units.
+        for &(units, threads) in &[(16usize, 4usize), (7, 3), (5, 8), (1, 4), (0, 2), (97, 6)] {
+            let sched = UnitSchedule::new(units, &ExecConfig::with_threads(threads));
+            assert_eq!(sched.units(), units);
+            assert_eq!(sched.threads(), threads);
+            let workers = if units <= 1 { 1 } else { threads.min(units) };
+            assert_eq!(sched.workers(), workers);
+            let (base, rem) = (units / workers, units % workers);
+            let mut covered = 0;
+            for (w, span) in sched.spans().iter().enumerate() {
+                assert_eq!(span.start, covered, "units {units} threads {threads}");
+                assert_eq!(span.len(), base + usize::from(w < rem));
+                covered = span.end;
+            }
+            assert_eq!(covered, units);
+        }
+        // Serial config always collapses to one worker.
+        assert_eq!(UnitSchedule::new(64, &ExecConfig::serial()).workers(), 1);
+    }
+
+    #[test]
+    fn scheduled_units_match_pooled_bitwise() {
+        let work = |i: usize, unit: &mut [f64], scratch: &mut Vec<f64>| {
+            for (k, v) in unit.iter_mut().enumerate() {
+                scratch[k] = *v * (i + 1) as f64 + 0.1;
+            }
+            unit.copy_from_slice(scratch);
+        };
+        let mut expect: Vec<f64> = (0..64 * 16).map(|i| (i % 97) as f64).collect();
+        for_each_unit_pooled(
+            &ExecConfig::with_threads(5),
+            &mut expect,
+            64,
+            &mut Vec::new(),
+            || vec![0.0f64; 64],
+            work,
+        );
+        for threads in [1usize, 2, 3, 8] {
+            let exec = ExecConfig::with_threads(threads);
+            let sched = UnitSchedule::new(16, &exec);
+            let mut data: Vec<f64> = (0..64 * 16).map(|i| (i % 97) as f64).collect();
+            let mut pool = Vec::new();
+            for_each_unit_scheduled(&sched, &mut data, 64, &mut pool, || vec![0.0f64; 64], work);
+            assert_eq!(pool.len(), sched.workers());
+            let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&expect), bits(&data), "threads {threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule built for")]
+    fn scheduled_units_reject_mismatched_unit_count() {
+        let sched = UnitSchedule::new(4, &ExecConfig::with_threads(2));
+        let mut data = vec![0.0f64; 64 * 16];
+        for_each_unit_scheduled(&sched, &mut data, 64, &mut Vec::new(), || (), |_, _, _| {});
     }
 
     #[test]

@@ -1,4 +1,6 @@
-use crate::{Complex, FftPlan};
+use crate::fft::HalfFft;
+use crate::{Complex, FftPlan, Pow2};
+use eplace_errors::EplaceError;
 use std::f64::consts::PI;
 
 /// A reusable plan for cosine/sine transforms of one fixed power-of-two size.
@@ -33,7 +35,7 @@ use std::f64::consts::PI;
 /// ```
 /// use eplace_spectral::DctPlan;
 ///
-/// let plan = DctPlan::new(16);
+/// let plan = DctPlan::new(16).unwrap();
 /// let x: Vec<f64> = (0..16).map(|i| i as f64).collect();
 /// let c = plan.dct2(&x);
 /// let y = plan.dct3(&c);
@@ -56,6 +58,24 @@ pub struct DctPlan {
     /// `i` to source index `2i` (first half) or `2(N−1−i)+1` (second half).
     /// One gather replaces the pack pass plus the in-place swap pass.
     packed_rev: Vec<u32>,
+    /// Engine-v2 mixed-radix Stockham FFT of length `N/2` — the folded-real
+    /// half-size kernel every v2 transform runs instead of the full-size FFT.
+    half: HalfFft,
+    /// Engine-v2 forward unfold twiddles `s[u] = i·e^{−2πiu/N}` for
+    /// `u ≤ N/2`: `U[u] = (Z[u]+conj(Z[H−u])) − s[u]·(Z[u]−conj(Z[H−u]))`
+    /// recovers twice the full-size spectrum bin from the half-spectrum
+    /// symmetric/antisymmetric parts.
+    unfold: Vec<Complex>,
+    /// Engine-v2 forward projections with the unfold's `1/2` pre-folded:
+    /// `[g.re, g.im, g'.re, g'.im]` where `g = fwd_twiddles[u]/2` and
+    /// `g' = fwd_twiddles[N−u]/2`, so `C[u] = g.re·U.re − g.im·U.im` and
+    /// `C[N−u] = g'.re·U.re + g'.im·U.im` cost no extra scaling pass.
+    /// Slot 0 is unused (bins 0 and H are handled separately).
+    fwd_half: Vec<[f64; 4]>,
+    /// Engine-v2 synthesis refold twiddles `e^{+2πiu/N}` for `u < N/2`,
+    /// recombining the even/odd half-spectra into the half-size inverse
+    /// input.
+    refold: Vec<Complex>,
 }
 
 /// Reusable work buffers for the `*_scratch` transform variants.
@@ -65,15 +85,25 @@ pub struct DctPlan {
 /// constructs one `DctScratch` per plan size and reuses it instead.
 #[derive(Debug, Clone)]
 pub struct DctScratch {
-    /// Complex FFT workspace.
+    /// Complex FFT workspace (v1 full-size path).
     freq: Vec<Complex>,
+    /// Engine-v2 half-size ping-pong buffer A (`N/2` slots).
+    half_a: Vec<Complex>,
+    /// Engine-v2 half-size ping-pong buffer B (`N/2` slots).
+    half_b: Vec<Complex>,
+    /// Engine-v2 natural-order Hermitian half-spectrum (`N/2 + 1` slots).
+    vh: Vec<Complex>,
 }
 
 impl DctScratch {
     /// Scratch sized for a plan of length `size`.
     pub fn new(size: usize) -> Self {
+        let h = size / 2;
         DctScratch {
             freq: vec![Complex::ZERO; size],
+            half_a: vec![Complex::ZERO; h],
+            half_b: vec![Complex::ZERO; h],
+            vh: vec![Complex::ZERO; h + 1],
         }
     }
 
@@ -104,11 +134,18 @@ enum Synth {
 impl DctPlan {
     /// Builds a plan for transforms of length `size`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `size` is not a power of two.
-    pub fn new(size: usize) -> Self {
-        let fft = FftPlan::new(size);
+    /// [`EplaceError::Validation`] when `size` is not a power of two. Callers
+    /// with a statically valid size use [`DctPlan::for_pow2`] instead.
+    pub fn new(size: usize) -> Result<Self, EplaceError> {
+        Pow2::new(size).map(Self::for_pow2)
+    }
+
+    /// Builds a plan from a checked-at-construction size — infallible.
+    pub fn for_pow2(size: Pow2) -> Self {
+        let fft = FftPlan::for_pow2(size);
+        let size = size.get();
         let fwd_twiddles: Vec<Complex> = (0..size)
             .map(|u| Complex::from_polar_unit(-PI * u as f64 / (2 * size) as f64))
             .collect();
@@ -128,12 +165,36 @@ impl DctPlan {
                 })
                 .collect()
         };
+        let h = size / 2;
+        let half = HalfFft::new(Pow2(h.max(1)));
+        debug_assert_eq!(half.len(), h.max(1));
+        let unfold: Vec<Complex> = (0..=h)
+            .map(|u| Complex::from_polar_unit(-2.0 * PI * u as f64 / size as f64).mul_i())
+            .collect();
+        let fwd_half: Vec<[f64; 4]> = (0..h)
+            .map(|u| {
+                if u == 0 {
+                    [0.0; 4]
+                } else {
+                    let g = fwd_twiddles[u];
+                    let gn = fwd_twiddles[size - u];
+                    [0.5 * g.re, 0.5 * g.im, 0.5 * gn.re, 0.5 * gn.im]
+                }
+            })
+            .collect();
+        let refold: Vec<Complex> = (0..h)
+            .map(|u| Complex::from_polar_unit(2.0 * PI * u as f64 / size as f64))
+            .collect();
         DctPlan {
             size,
             fft,
             fwd_twiddles,
             inv_twiddles,
             packed_rev,
+            half,
+            unfold,
+            fwd_half,
+            refold,
         }
     }
 
@@ -374,6 +435,272 @@ impl DctPlan {
                 }
             }
         }
+    }
+
+    /// Engine-v2 forward DCT-II over the strided line
+    /// `data[offset + i·stride]`, in place.
+    ///
+    /// Folds the length-`N` real input into a length-`N/2` complex FFT
+    /// (Makhoul pack of even/odd samples into real/imaginary lanes), runs
+    /// the mixed-radix half-size kernel, then unfolds each conjugate bin
+    /// pair back to two DCT outputs. Same transform convention as
+    /// [`DctPlan::dct2`], but the restructured arithmetic rounds differently
+    /// at the last ulps — see [`crate::SpectralEngine`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scratch length differs from the plan size or the
+    /// strided line runs past `data`.
+    pub fn dct2_v2(
+        &self,
+        data: &mut [f64],
+        offset: usize,
+        stride: usize,
+        scratch: &mut DctScratch,
+    ) {
+        self.check_strided(data.len(), offset, stride, "dct2");
+        self.check(scratch.len(), "dct2 scratch");
+        let n = self.size;
+        if n == 1 {
+            return;
+        }
+        let h = n / 2;
+        // Makhoul fold: half-FFT input m packs samples makhoul(2m) and
+        // makhoul(2m+1) — even slots (4m, 4m+2) for m < H/2, odd slots
+        // (2N−1−4m, 2N−3−4m) for m ≥ H/2, the exact mirror of the synthesis
+        // store. For n ≥ 8 the gather is fused into the first radix-4 pass;
+        // n = 4 gathers explicitly because its half FFT opens with radix-2.
+        let in_b = if n == 2 {
+            scratch.half_a[0] = Complex::new(data[offset], data[offset + stride]);
+            false
+        } else if n == 4 {
+            scratch.half_a[0] = Complex::new(data[offset], data[offset + 2 * stride]);
+            scratch.half_a[1] = Complex::new(data[offset + 3 * stride], data[offset + stride]);
+            self.half
+                .run(&mut scratch.half_a, &mut scratch.half_b, false)
+        } else {
+            self.half.run_folded_fwd(
+                data,
+                offset,
+                stride,
+                &mut scratch.half_a,
+                &mut scratch.half_b,
+            )
+        };
+        let z: &[Complex] = if in_b {
+            &scratch.half_b
+        } else {
+            &scratch.half_a
+        };
+        // Bin 0 and the Nyquist-pair bin H are purely real.
+        let z0 = z[0];
+        data[offset] = z0.re + z0.im;
+        data[offset + h * stride] = self.fwd_twiddles[h].re * (z0.re - z0.im);
+        // Each u < H yields twice the full-size spectrum bin
+        // `U[u] = (Z[u] + conj(Z[H−u])) − s[u]·(Z[u] − conj(Z[H−u]))`; the
+        // half-scaled projection tables absorb the 1/2, and Hermitian
+        // symmetry gives bin `N−u` from the same `U[u]` for free.
+        let mut iu = offset + stride;
+        let mut ib = offset + (n - 1) * stride;
+        let bins = z[1..]
+            .iter()
+            .zip(z[1..].iter().rev())
+            .zip(&self.unfold[1..h])
+            .zip(&self.fwd_half[1..]);
+        for (((&zu, &zr), s), g) in bins {
+            let zc = zr.conj();
+            let u = (zu + zc) - *s * (zu - zc);
+            data[iu] = g[0] * u.re - g[1] * u.im;
+            data[ib] = g[2] * u.re + g[3] * u.im;
+            iu += stride;
+            ib -= stride;
+        }
+    }
+
+    /// Engine-v2 exact inverse of the DCT-II over the strided line
+    /// `data[offset + i·stride]`, in place. Same convention as
+    /// [`DctPlan::idct2`]; rounds differently from v1 at the last ulps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scratch length differs from the plan size or the
+    /// strided line runs past `data`.
+    pub fn idct2_v2(
+        &self,
+        data: &mut [f64],
+        offset: usize,
+        stride: usize,
+        scratch: &mut DctScratch,
+    ) {
+        self.synth_v2(
+            data,
+            offset,
+            stride,
+            1.0,
+            scratch,
+            Synth::Idct2,
+            false,
+            "idct2",
+        )
+    }
+
+    /// Engine-v2 DCT-III synthesis over the strided line
+    /// `data[offset + i·stride]`, with `scale` fused into the store as
+    /// `(value)·scale` — bitwise identical to synthesizing with scale `1.0`
+    /// and scaling afterwards. Same convention as [`DctPlan::dct3`]; rounds
+    /// differently from v1 at the last ulps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scratch length differs from the plan size or the
+    /// strided line runs past `data`.
+    pub fn dct3_v2(
+        &self,
+        data: &mut [f64],
+        offset: usize,
+        stride: usize,
+        scale: f64,
+        scratch: &mut DctScratch,
+    ) {
+        self.synth_v2(
+            data,
+            offset,
+            stride,
+            scale,
+            scratch,
+            Synth::Dct3,
+            false,
+            "dct3",
+        )
+    }
+
+    /// Engine-v2 DST-III synthesis over the strided line
+    /// `data[offset + i·stride]`, with `scale` fused into the store (see
+    /// [`DctPlan::dct3_v2`]). Same convention as [`DctPlan::dst3`]; rounds
+    /// differently from v1 at the last ulps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scratch length differs from the plan size or the
+    /// strided line runs past `data`.
+    pub fn dst3_v2(
+        &self,
+        data: &mut [f64],
+        offset: usize,
+        stride: usize,
+        scale: f64,
+        scratch: &mut DctScratch,
+    ) {
+        self.synth_v2(
+            data,
+            offset,
+            stride,
+            scale,
+            scratch,
+            Synth::Dst3,
+            true,
+            "dst3",
+        )
+    }
+
+    /// Engine-v2 synthesis core: rebuild the natural-order Hermitian
+    /// half-spectrum `Vh[u] = conj(W[u])·(X[u] − i·X[N−u])` for `u ≤ H`,
+    /// refold the even/odd halves into one half-size inverse input
+    /// `Zc[u] = (Vh[u] + conj(Vh[H−u])) + i·e^{2πiu/N}·(Vh[u] − conj(Vh[H−u]))`,
+    /// run the unscaled half-size inverse FFT, and unpack
+    /// `y[2m] = Re(z[m])·post`, `y[2m+1] = Im(z[m])·post` through the
+    /// inverse Makhoul permutation fused into the store. `post` is `1/N` for
+    /// the exact idct2 and `1/2` (= `(1/N)·(N/2)`) for the DCT-III/DST-III
+    /// scale; the store computes `(value·post)·scale` so a fused `scale` is
+    /// bitwise identical to a separate scaling pass.
+    #[allow(clippy::too_many_arguments)]
+    fn synth_v2(
+        &self,
+        data: &mut [f64],
+        offset: usize,
+        stride: usize,
+        scale: f64,
+        scratch: &mut DctScratch,
+        mode: Synth,
+        reversed: bool,
+        what: &str,
+    ) {
+        self.check_strided(data.len(), offset, stride, what);
+        self.check(scratch.len(), what);
+        let n = self.size;
+        if n == 1 {
+            data[offset] = self.synth_size_one(data[offset], mode) * scale;
+            return;
+        }
+        let h = n / 2;
+        let vh = &mut scratch.vh;
+        let mut iu = offset + stride;
+        let mut ib = offset + (n - 1) * stride;
+        if reversed {
+            vh[0] = Complex::ZERO;
+            for (slot, w) in vh[1..].iter_mut().zip(&self.inv_twiddles[1..=h]) {
+                *slot = Complex::new(data[ib], -data[iu]) * *w;
+                iu += stride;
+                ib -= stride;
+            }
+        } else {
+            vh[0] = Complex::from(data[offset]);
+            for (slot, w) in vh[1..].iter_mut().zip(&self.inv_twiddles[1..=h]) {
+                *slot = Complex::new(data[iu], -data[ib]) * *w;
+                iu += stride;
+                ib -= stride;
+            }
+        }
+        let vh = &scratch.vh;
+        let refolded = scratch
+            .half_a
+            .iter_mut()
+            .zip(&self.refold)
+            .zip(&vh[..h])
+            .zip(vh[1..].iter().rev());
+        for (((slot, w), &vu), &vr) in refolded {
+            let vc = vr.conj();
+            let ve = vu + vc;
+            let vo = *w * (vu - vc);
+            *slot = ve + vo.mul_i();
+        }
+        let post = match mode {
+            Synth::Idct2 => 1.0 / n as f64,
+            Synth::Dct3 | Synth::Dst3 => 0.5,
+        };
+        if n == 2 {
+            let in_b = self
+                .half
+                .run(&mut scratch.half_a, &mut scratch.half_b, true);
+            let z: &[Complex] = if in_b {
+                &scratch.half_b
+            } else {
+                &scratch.half_a
+            };
+            // H = 1: slot 0 lands on even output 0, slot 1 on odd output 1.
+            data[offset] = (z[0].re * post) * scale;
+            let odd = z[0].im * post;
+            data[offset + stride] = match mode {
+                Synth::Dst3 => (-odd) * scale,
+                _ => odd * scale,
+            };
+            return;
+        }
+        // For n ≥ 4, H is even: pairs with m < H/2 land on even output
+        // slots (4m, 4m+2); pairs with m ≥ H/2 land on odd slots
+        // (2N−1−4m, 2N−3−4m) — the mirror of the forward fold gather. The
+        // inverse-Makhoul store (with post/scale and the DST sign flip on
+        // odd outputs) is fused into the half-FFT's final pass.
+        self.half.run_refolded_inv(
+            &mut scratch.half_a,
+            &mut scratch.half_b,
+            data,
+            offset,
+            stride,
+            post,
+            scale,
+            matches!(mode, Synth::Dst3),
+        );
     }
 
     /// Real-to-complex gather through the fused Makhoul + bit-reversal
@@ -654,7 +981,7 @@ mod tests {
     #[test]
     fn dct2_matches_reference() {
         for &n in &[1usize, 2, 4, 8, 32, 128] {
-            let plan = DctPlan::new(n);
+            let plan = DctPlan::new(n).unwrap();
             let x = test_signal(n);
             assert_close(&plan.dct2(&x), &reference::naive_dct2(&x), 1e-9);
         }
@@ -663,7 +990,7 @@ mod tests {
     #[test]
     fn idct2_inverts_dct2() {
         for &n in &[1usize, 2, 8, 64] {
-            let plan = DctPlan::new(n);
+            let plan = DctPlan::new(n).unwrap();
             let x = test_signal(n);
             assert_close(&plan.idct2(&plan.dct2(&x)), &x, 1e-10);
         }
@@ -672,7 +999,7 @@ mod tests {
     #[test]
     fn dct3_matches_reference() {
         for &n in &[2usize, 4, 16, 64] {
-            let plan = DctPlan::new(n);
+            let plan = DctPlan::new(n).unwrap();
             let c = test_signal(n);
             assert_close(&plan.dct3(&c), &reference::naive_dct3(&c), 1e-9);
         }
@@ -681,7 +1008,7 @@ mod tests {
     #[test]
     fn dst3_matches_reference() {
         for &n in &[2usize, 4, 16, 64] {
-            let plan = DctPlan::new(n);
+            let plan = DctPlan::new(n).unwrap();
             let c = test_signal(n);
             assert_close(&plan.dst3(&c), &reference::naive_dst3(&c), 1e-9);
         }
@@ -690,7 +1017,7 @@ mod tests {
     #[test]
     fn dct3_dct2_is_half_n_identity() {
         let n = 32;
-        let plan = DctPlan::new(n);
+        let plan = DctPlan::new(n).unwrap();
         let x = test_signal(n);
         let y = plan.dct3(&plan.dct2(&x));
         let scaled: Vec<f64> = x.iter().map(|v| v * n as f64 / 2.0).collect();
@@ -699,7 +1026,7 @@ mod tests {
 
     #[test]
     fn dst3_zeroth_coefficient_is_ignored() {
-        let plan = DctPlan::new(8);
+        let plan = DctPlan::new(8).unwrap();
         let mut c = test_signal(8);
         let a = plan.dst3(&c);
         c[0] = 1234.5;
@@ -710,7 +1037,7 @@ mod tests {
     #[test]
     fn dct2_of_single_cosine_mode_is_sparse() {
         let n = 16;
-        let plan = DctPlan::new(n);
+        let plan = DctPlan::new(n).unwrap();
         let u0 = 3;
         let x: Vec<f64> = (0..n)
             .map(|i| (PI * u0 as f64 * (2 * i + 1) as f64 / (2 * n) as f64).cos())
@@ -728,13 +1055,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "length mismatch")]
     fn wrong_length_panics() {
-        let plan = DctPlan::new(8);
+        let plan = DctPlan::new(8).unwrap();
         let _ = plan.dct2(&[1.0; 4]);
     }
 
     #[test]
     fn len_accessor() {
-        let plan = DctPlan::new(4);
+        let plan = DctPlan::new(4).unwrap();
         assert_eq!(plan.len(), 4);
         assert!(!plan.is_empty());
     }
@@ -742,7 +1069,7 @@ mod tests {
     #[test]
     fn inplace_variants_are_bitwise_out_of_place() {
         for &n in &[1usize, 2, 4, 16, 64] {
-            let plan = DctPlan::new(n);
+            let plan = DctPlan::new(n).unwrap();
             let mut scratch = DctScratch::new(n);
             let x = test_signal(n);
             let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
@@ -773,7 +1100,7 @@ mod tests {
         // transform it contiguously, apply the elementwise scale pass,
         // scatter it back.
         for &n in &[1usize, 2, 8, 32, 128] {
-            let plan = DctPlan::new(n);
+            let plan = DctPlan::new(n).unwrap();
             let mut scratch = DctScratch::new(n);
             let (offset, stride) = (2usize, 5usize);
             let len = offset + (n - 1) * stride + 3;
@@ -826,7 +1153,7 @@ mod tests {
         // pipeline: spectrum rebuild in natural order, fft.inverse (with its
         // separate 1/N pass), unpack, then scale/sign passes.
         for &n in &[2usize, 8, 32, 128] {
-            let plan = DctPlan::new(n);
+            let plan = DctPlan::new(n).unwrap();
             let coeffs = test_signal(n);
             // Unfused dct2: Makhoul pack, full complex FFT (separate swap
             // pass), complex post-twiddle taking the real part.
@@ -902,6 +1229,139 @@ mod tests {
                 dst3_unfused.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
                 "dst3 n {n}"
             );
+        }
+    }
+
+    #[test]
+    fn v2_kernels_match_reference() {
+        for &n in &[1usize, 2, 4, 8, 16, 32, 64, 128] {
+            let plan = DctPlan::new(n).unwrap();
+            let mut scratch = DctScratch::new(n);
+            let x = test_signal(n);
+            let tol = 1e-9 * n.max(1) as f64;
+
+            let mut fwd = x.clone();
+            plan.dct2_v2(&mut fwd, 0, 1, &mut scratch);
+            assert_close(&fwd, &reference::naive_dct2(&x), tol);
+
+            let mut back = fwd.clone();
+            plan.idct2_v2(&mut back, 0, 1, &mut scratch);
+            assert_close(&back, &x, tol);
+
+            let mut dct3 = x.clone();
+            plan.dct3_v2(&mut dct3, 0, 1, 1.0, &mut scratch);
+            assert_close(&dct3, &reference::naive_dct3(&x), tol);
+
+            let mut dst3 = x.clone();
+            plan.dst3_v2(&mut dst3, 0, 1, 1.0, &mut scratch);
+            assert_close(&dst3, &reference::naive_dst3(&x), tol);
+        }
+    }
+
+    #[test]
+    fn v2_agrees_with_v1_within_tolerance() {
+        // The two engines round differently at the last ulps but compute the
+        // same transform; the gap must stay at roundoff scale.
+        for &n in &[2usize, 8, 64, 256] {
+            let plan = DctPlan::new(n).unwrap();
+            let mut scratch = DctScratch::new(n);
+            let x = test_signal(n);
+            let tol = 1e-11 * n as f64;
+
+            let mut v2 = x.clone();
+            plan.dct2_v2(&mut v2, 0, 1, &mut scratch);
+            assert_close(&v2, &plan.dct2(&x), tol);
+
+            let mut v2 = x.clone();
+            plan.dct3_v2(&mut v2, 0, 1, 1.0, &mut scratch);
+            assert_close(&v2, &plan.dct3(&x), tol);
+
+            let mut v2 = x.clone();
+            plan.dst3_v2(&mut v2, 0, 1, 1.0, &mut scratch);
+            assert_close(&v2, &plan.dst3(&x), tol);
+        }
+    }
+
+    #[test]
+    fn v2_strided_is_bitwise_gather_transform_scatter() {
+        // Like the v1 strided test: running a v2 kernel over a strided line
+        // must be bit-identical to gathering the line, transforming it
+        // contiguously, and scattering it back — and leave interstitial
+        // elements untouched.
+        for &n in &[1usize, 2, 8, 32, 128] {
+            let plan = DctPlan::new(n).unwrap();
+            let mut scratch = DctScratch::new(n);
+            let (offset, stride) = (3usize, 4usize);
+            let len = offset + (n - 1) * stride + 2;
+            let base: Vec<f64> = (0..len).map(|i| (i as f64 * 0.53).cos() + 0.1).collect();
+            let gather =
+                |b: &[f64]| -> Vec<f64> { (0..n).map(|i| b[offset + i * stride]).collect() };
+            let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+            let scale = 1.7;
+
+            type Kernel<'a> = Box<dyn Fn(&mut [f64], usize, usize, &mut DctScratch) + 'a>;
+            let p = &plan;
+            let cases: [(Kernel<'_>, &str); 4] = [
+                (Box::new(move |d, o, s, sc| p.dct2_v2(d, o, s, sc)), "dct2"),
+                (
+                    Box::new(move |d, o, s, sc| p.idct2_v2(d, o, s, sc)),
+                    "idct2",
+                ),
+                (
+                    Box::new(move |d, o, s, sc| p.dct3_v2(d, o, s, scale, sc)),
+                    "dct3",
+                ),
+                (
+                    Box::new(move |d, o, s, sc| p.dst3_v2(d, o, s, scale, sc)),
+                    "dst3",
+                ),
+            ];
+            for (kernel, name) in &cases {
+                let mut line = gather(&base);
+                kernel(&mut line, 0, 1, &mut scratch);
+                let mut buf = base.clone();
+                kernel(&mut buf, offset, stride, &mut scratch);
+                assert_eq!(bits(&line), bits(&gather(&buf)), "{name} n {n}");
+                for (i, (a, b)) in base.iter().zip(&buf).enumerate() {
+                    let on_line =
+                        i >= offset && (i - offset) % stride == 0 && (i - offset) / stride < n;
+                    if !on_line {
+                        assert_eq!(a.to_bits(), b.to_bits(), "{name} n {n} clobbered {i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn v2_scale_fusion_is_bitwise_separate_pass() {
+        // The fused `scale` must equal synthesizing with scale 1.0 and then
+        // multiplying — bit for bit — so the parallel 2-D path (scale in the
+        // transpose-back) matches the serial fused path exactly.
+        for &n in &[1usize, 2, 8, 64] {
+            let plan = DctPlan::new(n).unwrap();
+            let mut scratch = DctScratch::new(n);
+            let x = test_signal(n);
+            let scale = 0.731;
+            for dst in [false, true] {
+                let run = |d: &mut [f64], s: f64, sc: &mut DctScratch| {
+                    if dst {
+                        plan.dst3_v2(d, 0, 1, s, sc);
+                    } else {
+                        plan.dct3_v2(d, 0, 1, s, sc);
+                    }
+                };
+                let mut fused = x.clone();
+                run(&mut fused, scale, &mut scratch);
+                let mut separate = x.clone();
+                run(&mut separate, 1.0, &mut scratch);
+                for v in separate.iter_mut() {
+                    *v *= scale;
+                }
+                for (a, b) in fused.iter().zip(&separate) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "dst {dst} n {n}");
+                }
+            }
         }
     }
 }

@@ -8,13 +8,44 @@
 //! [`SpectralPlan::get`] computes each size's tables exactly once per
 //! process and hands out shared references afterwards.
 //!
-//! Sharing cannot change numerics: `DctPlan::new` is deterministic, so a
+//! Sizes are powers of two, so the cache is a fixed array of
+//! [`OnceLock`] slots indexed by `log2(size)`: a steady-state lookup is one
+//! atomic load with no lock at all, and concurrent first requests for one
+//! size race only inside that size's `OnceLock` (exactly one build wins).
+//! The historical `Mutex<Vec<…>>` serialized every lookup — under
+//! `eplace-serve`, concurrent jobs contended on a read-mostly cache.
+//!
+//! Each cached entry also carries the plan's *parallel strategy*: the
+//! per-thread-count [`UnitSchedule`]s a 2-D transform uses to split its
+//! row/column passes. `Transform2d` fetches the schedule for its
+//! `ExecConfig` once (read-locked; written only on the first request per
+//! thread count) instead of recomputing the split on every call.
+//!
+//! Sharing cannot change numerics: plan construction is deterministic, so a
 //! cached plan is bit-identical to a freshly built one — the cache only
 //! removes redundant construction work.
 
-use crate::DctPlan;
+use crate::{DctPlan, Pow2};
+use eplace_errors::EplaceError;
+use eplace_exec::{ExecConfig, UnitSchedule};
 use std::ops::Deref;
-use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::sync::{Arc, OnceLock, PoisonError, RwLock};
+
+/// One slot per possible power-of-two size on a 64-bit machine.
+const SLOT_COUNT: usize = usize::BITS as usize;
+
+/// A cached plan plus its precomputed parallel strategies.
+#[derive(Debug)]
+struct PlanEntry {
+    plan: DctPlan,
+    /// `(threads, schedule)` pairs for every `ExecConfig` seen so far. A
+    /// handful of distinct thread counts exist per process, so a read-locked
+    /// linear scan is the steady state; the write lock is taken only the
+    /// first time a new thread count shows up.
+    schedules: RwLock<Vec<(usize, Arc<UnitSchedule>)>>,
+}
+
+static SLOTS: [OnceLock<Arc<PlanEntry>>; SLOT_COUNT] = [const { OnceLock::new() }; SLOT_COUNT];
 
 /// A shared, immutable [`DctPlan`] from the process-wide per-size cache.
 ///
@@ -26,40 +57,69 @@ use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 /// ```
 /// use eplace_spectral::SpectralPlan;
 ///
-/// let a = SpectralPlan::get(64);
-/// let b = SpectralPlan::get(64);
+/// let a = SpectralPlan::get(64).unwrap();
+/// let b = SpectralPlan::get(64).unwrap();
 /// assert!(a.shares_tables_with(&b)); // same tables, built once
 /// assert_eq!(a.len(), 64);
 /// ```
 #[derive(Debug, Clone)]
 pub struct SpectralPlan {
-    inner: Arc<DctPlan>,
+    inner: Arc<PlanEntry>,
 }
-
-/// The cache itself. Transform sizes are small powers of two (the density
-/// grid caps at a few hundred bins per axis), so a linear scan over a short
-/// vector beats a map and the cache never needs eviction.
-type PlanCache = Mutex<Vec<(usize, Arc<DctPlan>)>>;
-static CACHE: OnceLock<PlanCache> = OnceLock::new();
 
 impl SpectralPlan {
     /// The shared plan for transforms of length `size`, building (and
     /// caching) it on first request.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `size` is not a power of two.
-    pub fn get(size: usize) -> Self {
-        let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
-        let mut guard = cache.lock().unwrap_or_else(PoisonError::into_inner);
-        if let Some((_, plan)) = guard.iter().find(|(s, _)| *s == size) {
-            return SpectralPlan {
-                inner: Arc::clone(plan),
-            };
+    /// [`EplaceError::Validation`] when `size` is not a power of two.
+    pub fn get(size: usize) -> Result<Self, EplaceError> {
+        Pow2::new(size).map(Self::for_pow2)
+    }
+
+    /// [`SpectralPlan::get`] for a checked-at-construction size — infallible.
+    pub fn for_pow2(size: Pow2) -> Self {
+        let slot = &SLOTS[size.get().trailing_zeros() as usize];
+        let entry = slot.get_or_init(|| {
+            Arc::new(PlanEntry {
+                plan: DctPlan::for_pow2(size),
+                schedules: RwLock::new(Vec::new()),
+            })
+        });
+        SpectralPlan {
+            inner: Arc::clone(entry),
         }
-        let plan = Arc::new(DctPlan::new(size));
-        guard.push((size, Arc::clone(&plan)));
-        SpectralPlan { inner: plan }
+    }
+
+    /// The parallel strategy for this plan's size under `exec`: how the
+    /// `size` row/column units of a 2-D pass are distributed over workers.
+    /// Computed once per `(size, threads)` pair and shared afterwards —
+    /// repeat calls take only the read lock.
+    pub fn schedule(&self, exec: &ExecConfig) -> Arc<UnitSchedule> {
+        let threads = exec.threads();
+        {
+            let guard = self
+                .inner
+                .schedules
+                .read()
+                .unwrap_or_else(PoisonError::into_inner);
+            if let Some((_, sched)) = guard.iter().find(|(t, _)| *t == threads) {
+                return Arc::clone(sched);
+            }
+        }
+        let mut guard = self
+            .inner
+            .schedules
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        // Another thread may have filled the slot between the locks.
+        if let Some((_, sched)) = guard.iter().find(|(t, _)| *t == threads) {
+            return Arc::clone(sched);
+        }
+        let sched = Arc::new(UnitSchedule::new(self.inner.plan.len(), exec));
+        guard.push((threads, Arc::clone(&sched)));
+        sched
     }
 
     /// `true` when `self` and `other` share one cached table set.
@@ -69,11 +129,7 @@ impl SpectralPlan {
 
     /// Number of distinct sizes currently cached (diagnostics/tests).
     pub fn cached_sizes() -> usize {
-        CACHE
-            .get_or_init(|| Mutex::new(Vec::new()))
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .len()
+        SLOTS.iter().filter(|slot| slot.get().is_some()).count()
     }
 }
 
@@ -81,7 +137,7 @@ impl Deref for SpectralPlan {
     type Target = DctPlan;
 
     fn deref(&self) -> &DctPlan {
-        &self.inner
+        &self.inner.plan
     }
 }
 
@@ -91,25 +147,31 @@ mod tests {
 
     #[test]
     fn same_size_yields_shared_plan() {
-        let a = SpectralPlan::get(32);
-        let b = SpectralPlan::get(32);
+        let a = SpectralPlan::get(32).unwrap();
+        let b = SpectralPlan::get(32).unwrap();
         assert!(a.shares_tables_with(&b));
         assert!(a.shares_tables_with(&a.clone()));
     }
 
     #[test]
     fn different_sizes_yield_distinct_plans() {
-        let a = SpectralPlan::get(16);
-        let b = SpectralPlan::get(8);
+        let a = SpectralPlan::get(16).unwrap();
+        let b = SpectralPlan::get(8).unwrap();
         assert!(!a.shares_tables_with(&b));
         assert_eq!(a.len(), 16);
         assert_eq!(b.len(), 8);
     }
 
     #[test]
+    fn non_power_of_two_size_is_a_typed_error() {
+        assert!(SpectralPlan::get(12).is_err());
+        assert!(SpectralPlan::get(0).is_err());
+    }
+
+    #[test]
     fn cached_plan_is_bitwise_identical_to_fresh_plan() {
-        let cached = SpectralPlan::get(64);
-        let fresh = DctPlan::new(64);
+        let cached = SpectralPlan::get(64).unwrap();
+        let fresh = DctPlan::new(64).unwrap();
         let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.31).sin()).collect();
         let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
         assert_eq!(bits(&cached.dct2(&x)), bits(&fresh.dct2(&x)));
@@ -119,9 +181,9 @@ mod tests {
     #[test]
     fn cache_grows_monotonically() {
         let before = SpectralPlan::cached_sizes();
-        let _ = SpectralPlan::get(256);
+        let _ = SpectralPlan::get(256).unwrap();
         let mid = SpectralPlan::cached_sizes();
-        let _ = SpectralPlan::get(256);
+        let _ = SpectralPlan::get(256).unwrap();
         assert!(mid >= before.max(1));
         assert_eq!(SpectralPlan::cached_sizes(), mid);
     }
@@ -130,12 +192,57 @@ mod tests {
     fn concurrent_gets_converge_to_one_plan() {
         let plans: Vec<SpectralPlan> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..8)
-                .map(|_| scope.spawn(|| SpectralPlan::get(128)))
+                .map(|_| scope.spawn(|| SpectralPlan::get(128).unwrap()))
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
         for p in &plans[1..] {
             assert!(plans[0].shares_tables_with(p));
         }
+    }
+
+    #[test]
+    fn contended_gets_return_bit_identical_plans() {
+        // Regression test for the old Mutex<Vec> cache: many threads
+        // hammering get() + schedule() concurrently must all land on one
+        // shared entry whose transforms agree bit for bit, with no lock
+        // poisoning or torn initialization.
+        let x: Vec<f64> = (0..512).map(|i| (i as f64 * 0.13).cos()).collect();
+        let expect: Vec<u64> = SpectralPlan::get(512)
+            .unwrap()
+            .dct2(&x)
+            .iter()
+            .map(|f| f.to_bits())
+            .collect();
+        std::thread::scope(|scope| {
+            for t in 0..16 {
+                let (x, expect) = (&x, &expect);
+                scope.spawn(move || {
+                    for round in 0..50 {
+                        let plan = SpectralPlan::get(512).unwrap();
+                        let sched = plan.schedule(&ExecConfig::with_threads(t % 4 + 1));
+                        assert_eq!(sched.units(), 512);
+                        if round % 10 == 0 {
+                            let got: Vec<u64> = plan.dct2(x).iter().map(|f| f.to_bits()).collect();
+                            assert_eq!(&got, expect);
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn schedules_are_cached_per_thread_count() {
+        let plan = SpectralPlan::get(64).unwrap();
+        let a = plan.schedule(&ExecConfig::with_threads(3));
+        let b = plan.schedule(&ExecConfig::with_threads(3));
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = plan.schedule(&ExecConfig::with_threads(5));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(a.workers(), 3);
+        assert_eq!(c.workers(), 5);
+        // The cached schedule is exactly what a fresh computation yields.
+        assert_eq!(*a, UnitSchedule::new(64, &ExecConfig::with_threads(3)));
     }
 }

@@ -1,6 +1,6 @@
 //! Property-based tests of the transform algebra.
 
-use crate::{reference, Complex, DctPlan, DctScratch, FftPlan, Transform2d};
+use crate::{reference, Complex, DctPlan, DctScratch, FftPlan, SpectralEngine, Transform2d};
 use eplace_testkit::{check, Gen};
 
 const CASES: u64 = 256;
@@ -14,7 +14,7 @@ fn fft_parseval() {
     check("fft_parseval", CASES, |g| {
         let values = arb_vec(g, 64, -100.0, 100.0);
         let input: Vec<Complex> = values.chunks(2).map(|c| Complex::new(c[0], c[1])).collect();
-        let plan = FftPlan::new(32);
+        let plan = FftPlan::new(32).unwrap();
         let mut freq = input.clone();
         plan.forward(&mut freq);
         let time_energy: f64 = input.iter().map(|z| z.norm_sq()).sum();
@@ -30,7 +30,7 @@ fn fft_convolution_theorem() {
         let n = 16;
         let a = arb_vec(g, n, -10.0, 10.0);
         let b = arb_vec(g, n, -10.0, 10.0);
-        let plan = FftPlan::new(n);
+        let plan = FftPlan::new(n).unwrap();
         let ca: Vec<Complex> = a.iter().map(|&v| Complex::from(v)).collect();
         let cb: Vec<Complex> = b.iter().map(|&v| Complex::from(v)).collect();
         // Direct circular convolution.
@@ -59,7 +59,7 @@ fn dct_linearity() {
         let a = arb_vec(g, 16, -50.0, 50.0);
         let b = arb_vec(g, 16, -50.0, 50.0);
         let s = g.f64_range(-3.0, 3.0);
-        let plan = DctPlan::new(16);
+        let plan = DctPlan::new(16).unwrap();
         let combo: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + s * y).collect();
         let ca = plan.dct2(&a);
         let cb = plan.dct2(&b);
@@ -74,7 +74,7 @@ fn dct_linearity() {
 fn dst3_matches_reference_on_arbitrary_coeffs() {
     check("dst3_matches_reference_on_arbitrary_coeffs", CASES, |g| {
         let coeffs = arb_vec(g, 32, -20.0, 20.0);
-        let plan = DctPlan::new(32);
+        let plan = DctPlan::new(32).unwrap();
         let fast = plan.dst3(&coeffs);
         let slow = reference::naive_dst3(&coeffs);
         for (a, b) in fast.iter().zip(&slow) {
@@ -87,7 +87,7 @@ fn dst3_matches_reference_on_arbitrary_coeffs() {
 fn dct2_idct2_roundtrip_arbitrary() {
     check("dct2_idct2_roundtrip_arbitrary", CASES, |g| {
         let values = arb_vec(g, 64, -1e3, 1e3);
-        let plan = DctPlan::new(64);
+        let plan = DctPlan::new(64).unwrap();
         let back = plan.idct2(&plan.dct2(&values));
         for (a, b) in back.iter().zip(&values) {
             assert!((a - b).abs() < 1e-7 * (1.0 + b.abs()));
@@ -106,7 +106,7 @@ fn dct2_idct2_roundtrip_under_scratch_reuse() {
         // One DctScratch serves many transforms; reused scratch must be
         // bitwise identical to the allocating `_into` entry points.
         let n = arb_pow2(g, 1, 7);
-        let plan = DctPlan::new(n);
+        let plan = DctPlan::new(n).unwrap();
         let mut scratch = DctScratch::new(n);
         let mut coeffs = vec![0.0; n];
         let mut back = vec![0.0; n];
@@ -129,7 +129,7 @@ fn dst3_scratch_reuse_matches_reference() {
         // The DST path reverses coefficients inside the scratch; stale
         // contents from earlier calls must not leak into later ones.
         let n = arb_pow2(g, 1, 6);
-        let plan = DctPlan::new(n);
+        let plan = DctPlan::new(n).unwrap();
         let mut scratch = DctScratch::new(n);
         let mut out = vec![0.0; n];
         for _ in 0..3 {
@@ -153,7 +153,7 @@ fn transform2d_roundtrips_on_arbitrary_grids_with_reuse() {
             // iterations — exactly the placer's usage — on non-square grids too.
             let nx = arb_pow2(g, 1, 5);
             let ny = arb_pow2(g, 1, 5);
-            let mut t = Transform2d::new(nx, ny);
+            let mut t = Transform2d::new(nx, ny).unwrap();
             let scale = (nx as f64 / 2.0) * (ny as f64 / 2.0);
             for _ in 0..3 {
                 let data = arb_vec(g, nx * ny, -100.0, 100.0);
@@ -176,7 +176,7 @@ fn transform2d_dst_syntheses_with_reuse_match_naive() {
         |g| {
             let nx = arb_pow2(g, 1, 4);
             let ny = arb_pow2(g, 1, 4);
-            let mut t = Transform2d::new(nx, ny);
+            let mut t = Transform2d::new(nx, ny).unwrap();
             for _ in 0..2 {
                 let data = arb_vec(g, nx * ny, -10.0, 10.0);
                 let mut fx = data.clone();
@@ -195,6 +195,96 @@ fn transform2d_dst_syntheses_with_reuse_match_naive() {
             }
         },
     );
+}
+
+#[test]
+fn v2_kernels_match_oracle_on_arbitrary_inputs() {
+    check("v2_kernels_match_oracle_on_arbitrary_inputs", CASES, |g| {
+        // Every v2 kernel (folded-real forward, half-size mixed-radix
+        // synthesis) against the O(n²) oracle over generated sizes/inputs.
+        let n = arb_pow2(g, 0, 8);
+        let plan = DctPlan::new(n).unwrap();
+        let mut scratch = DctScratch::new(n);
+        let x = arb_vec(g, n, -100.0, 100.0);
+        let tol = 1e-8 * n.max(1) as f64;
+
+        let mut fwd = x.clone();
+        plan.dct2_v2(&mut fwd, 0, 1, &mut scratch);
+        for (a, b) in fwd.iter().zip(&reference::naive_dct2(&x)) {
+            assert!((a - b).abs() < tol, "dct2 n {n}: {a} vs {b}");
+        }
+        let mut back = fwd.clone();
+        plan.idct2_v2(&mut back, 0, 1, &mut scratch);
+        for (a, b) in back.iter().zip(&x) {
+            assert!((a - b).abs() < tol, "idct2 n {n}");
+        }
+        let mut dct3 = x.clone();
+        plan.dct3_v2(&mut dct3, 0, 1, 1.0, &mut scratch);
+        for (a, b) in dct3.iter().zip(&reference::naive_dct3(&x)) {
+            assert!((a - b).abs() < tol, "dct3 n {n}: {a} vs {b}");
+        }
+        let mut dst3 = x.clone();
+        plan.dst3_v2(&mut dst3, 0, 1, 1.0, &mut scratch);
+        for (a, b) in dst3.iter().zip(&reference::naive_dst3(&x)) {
+            assert!((a - b).abs() < tol, "dst3 n {n}: {a} vs {b}");
+        }
+    });
+}
+
+#[test]
+fn v2_transform2d_thread_sweep_is_bitwise_invariant() {
+    check(
+        "v2_transform2d_thread_sweep_is_bitwise_invariant",
+        32,
+        |g| {
+            // threads ∈ {1, 2, 3, 8} over generated grids and ops, v2 engine.
+            let nx = arb_pow2(g, 1, 5);
+            let ny = arb_pow2(g, 1, 5);
+            let data = arb_vec(g, nx * ny, -50.0, 50.0);
+            let op = g.usize_range(0, 3);
+            let run = |threads: usize| {
+                let mut t = Transform2d::new(nx, ny)
+                    .unwrap()
+                    .with_engine(SpectralEngine::V2)
+                    .with_exec(eplace_exec::ExecConfig::with_threads(threads));
+                let mut w = data.clone();
+                match op {
+                    0 => t.dct2(&mut w),
+                    1 => t.dct3_scaled(&mut w, 0.31),
+                    2 => t.dst3_x(&mut w),
+                    _ => t.dst3_y(&mut w),
+                }
+                w
+            };
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            let serial = run(1);
+            for threads in [2usize, 3, 8] {
+                assert_eq!(
+                    bits(&serial),
+                    bits(&run(threads)),
+                    "{nx}x{ny} op {op} t {threads}"
+                );
+            }
+        },
+    );
+}
+
+#[test]
+fn v2_roundtrip_arbitrary() {
+    check("v2_roundtrip_arbitrary", CASES, |g| {
+        // dct3_v2(dct2_v2(x)) == (N/2)·x on arbitrary inputs.
+        let n = arb_pow2(g, 1, 7);
+        let plan = DctPlan::new(n).unwrap();
+        let mut scratch = DctScratch::new(n);
+        let x = arb_vec(g, n, -1e3, 1e3);
+        let mut w = x.clone();
+        plan.dct2_v2(&mut w, 0, 1, &mut scratch);
+        plan.dct3_v2(&mut w, 0, 1, 1.0, &mut scratch);
+        let scale = n as f64 / 2.0;
+        for (a, b) in w.iter().zip(&x) {
+            assert!((a - scale * b).abs() < 1e-7 * (1.0 + b.abs()), "n {n}");
+        }
+    });
 }
 
 /// Naive 2-D transform: `fx` over x then `fy` over y (mirror of the unit

@@ -1,7 +1,9 @@
 use crate::dct::DctScratch;
-use crate::{DctPlan, SpectralPlan};
-use eplace_exec::{for_each_unit, for_each_unit_pooled, ExecConfig};
+use crate::{DctPlan, Pow2, SpectralEngine, SpectralPlan};
+use eplace_errors::EplaceError;
+use eplace_exec::{for_each_unit_scheduled, ExecConfig, UnitSchedule};
 use eplace_obs::Obs;
+use std::sync::Arc;
 
 /// Which 1-D kernel a pass applies along an axis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,14 +43,23 @@ enum Kernel {
 /// With [`Transform2d::set_exec`] the row pass, both transposes, and the
 /// column pass run on scoped worker threads. Every parallel unit (one row or
 /// one column) is written by exactly one worker, so the result is bitwise
-/// identical for every thread count, including the serial default.
+/// identical for every thread count, including the serial default. The
+/// worker split itself is not recomputed per call: each cached plan carries
+/// its [`UnitSchedule`] per thread count, fetched once in
+/// [`Transform2d::set_exec`] and replayed by every pass.
+///
+/// [`Transform2d::set_engine`] selects the transform engine: the default
+/// [`SpectralEngine::V1`] reproduces historical bits exactly, while
+/// [`SpectralEngine::V2`] runs the folded-real half-size mixed-radix kernels
+/// (see the crate docs). Both are deterministic and bitwise thread-count
+/// invariant.
 ///
 /// # Examples
 ///
 /// ```
 /// use eplace_spectral::Transform2d;
 ///
-/// let mut t = Transform2d::new(4, 8);
+/// let mut t = Transform2d::new(4, 8).unwrap();
 /// let mut grid: Vec<f64> = (0..32).map(|i| (i as f64 * 0.3).sin()).collect();
 /// let original = grid.clone();
 /// t.dct2(&mut grid);
@@ -72,7 +83,14 @@ pub struct Transform2d {
     /// persistent across calls.
     pool_x: Vec<DctScratch>,
     pool_y: Vec<DctScratch>,
+    /// Plan-carried worker split for the passes with `ny` units (the row
+    /// transform and the transpose-back), shared via `plan_y`'s cache entry.
+    sched_rows: Arc<UnitSchedule>,
+    /// Plan-carried worker split for the passes with `nx` units (the
+    /// transpose-in and the column transform), shared via `plan_x`'s entry.
+    sched_cols: Arc<UnitSchedule>,
     exec: ExecConfig,
+    engine: SpectralEngine,
     obs: Obs,
 }
 
@@ -80,34 +98,72 @@ impl Transform2d {
     /// Builds transforms for an `nx × ny` grid (serial execution; see
     /// [`Transform2d::set_exec`]).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if either dimension is not a power of two.
-    pub fn new(nx: usize, ny: usize) -> Self {
+    /// [`EplaceError::Validation`] when either dimension is not a power of
+    /// two. Callers with statically valid sizes use
+    /// [`Transform2d::for_pow2`] instead.
+    pub fn new(nx: usize, ny: usize) -> Result<Self, EplaceError> {
+        Ok(Self::for_pow2(Pow2::new(nx)?, Pow2::new(ny)?))
+    }
+
+    /// Builds transforms from checked-at-construction sizes — infallible.
+    pub fn for_pow2(nx: Pow2, ny: Pow2) -> Self {
+        let plan_x = SpectralPlan::for_pow2(nx);
+        let plan_y = SpectralPlan::for_pow2(ny);
+        let (nx, ny) = (nx.get(), ny.get());
+        let exec = ExecConfig::serial();
+        let sched_rows = plan_y.schedule(&exec);
+        let sched_cols = plan_x.schedule(&exec);
         Transform2d {
             nx,
             ny,
-            plan_x: SpectralPlan::get(nx),
-            plan_y: SpectralPlan::get(ny),
+            plan_x,
+            plan_y,
             transpose_buf: Vec::new(),
             scratch_x: DctScratch::new(nx),
             scratch_y: DctScratch::new(ny),
             pool_x: Vec::new(),
             pool_y: Vec::new(),
-            exec: ExecConfig::serial(),
+            sched_rows,
+            sched_cols,
+            exec,
+            engine: SpectralEngine::default(),
             obs: Obs::disabled(),
         }
     }
 
-    /// Sets the execution configuration for subsequent transforms.
+    /// Sets the execution configuration for subsequent transforms, fetching
+    /// the plan-carried [`UnitSchedule`]s for the new thread count (computed
+    /// at most once per `(size, threads)` pair process-wide).
     pub fn set_exec(&mut self, exec: ExecConfig) {
         self.exec = exec;
+        self.sched_rows = self.plan_y.schedule(&exec);
+        self.sched_cols = self.plan_x.schedule(&exec);
     }
 
     /// Builder form of [`Transform2d::set_exec`].
     pub fn with_exec(mut self, exec: ExecConfig) -> Self {
-        self.exec = exec;
+        self.set_exec(exec);
         self
+    }
+
+    /// Selects the transform engine for subsequent calls (default
+    /// [`SpectralEngine::V1`]).
+    pub fn set_engine(&mut self, engine: SpectralEngine) {
+        self.engine = engine;
+    }
+
+    /// Builder form of [`Transform2d::set_engine`].
+    pub fn with_engine(mut self, engine: SpectralEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The engine subsequent transforms will run.
+    #[inline]
+    pub fn engine(&self) -> SpectralEngine {
+        self.engine
     }
 
     /// Sets the observability recorder: each transform call records one
@@ -230,22 +286,38 @@ impl Transform2d {
     /// kernels, with the caller's `scale` fused into the final store.
     fn apply_serial(&mut self, data: &mut [f64], kernel_x: Kernel, kernel_y: Kernel, scale: f64) {
         let nx = self.nx;
+        let engine = self.engine;
         for row in data.chunks_exact_mut(nx) {
-            Self::run_kernel(&self.plan_x, kernel_x, row, &mut self.scratch_x);
+            Self::run_kernel(&self.plan_x, engine, kernel_x, row, &mut self.scratch_x);
         }
         debug_assert!(
             kernel_y != Kernel::Dct2 || scale == 1.0,
             "forward pass never scales"
         );
         for ix in 0..nx {
-            match kernel_y {
-                Kernel::Dct2 => self.plan_y.dct2_strided(data, ix, nx, &mut self.scratch_y),
-                Kernel::Dct3 => self
-                    .plan_y
-                    .dct3_strided(data, ix, nx, scale, &mut self.scratch_y),
-                Kernel::Dst3 => self
-                    .plan_y
-                    .dst3_strided(data, ix, nx, scale, &mut self.scratch_y),
+            match (engine, kernel_y) {
+                (SpectralEngine::V1, Kernel::Dct2) => {
+                    self.plan_y.dct2_strided(data, ix, nx, &mut self.scratch_y)
+                }
+                (SpectralEngine::V1, Kernel::Dct3) => {
+                    self.plan_y
+                        .dct3_strided(data, ix, nx, scale, &mut self.scratch_y)
+                }
+                (SpectralEngine::V1, Kernel::Dst3) => {
+                    self.plan_y
+                        .dst3_strided(data, ix, nx, scale, &mut self.scratch_y)
+                }
+                (SpectralEngine::V2, Kernel::Dct2) => {
+                    self.plan_y.dct2_v2(data, ix, nx, &mut self.scratch_y)
+                }
+                (SpectralEngine::V2, Kernel::Dct3) => {
+                    self.plan_y
+                        .dct3_v2(data, ix, nx, scale, &mut self.scratch_y)
+                }
+                (SpectralEngine::V2, Kernel::Dst3) => {
+                    self.plan_y
+                        .dst3_v2(data, ix, nx, scale, &mut self.scratch_y)
+                }
             }
         }
     }
@@ -257,22 +329,27 @@ impl Transform2d {
     fn apply_parallel(&mut self, data: &mut [f64], kernel_x: Kernel, kernel_y: Kernel, scale: f64) {
         let (nx, ny) = (self.nx, self.ny);
         self.transpose_buf.resize(nx * ny, 0.0);
-        let exec = self.exec;
+        let engine = self.engine;
+        // Unit scratch for the transpose passes: a Vec of zero-sized units
+        // never touches the heap, so building one per call stays
+        // allocation-free.
+        let mut unit_pool: Vec<()> = Vec::new();
         let plan_x = &self.plan_x;
-        for_each_unit_pooled(
-            &exec,
+        for_each_unit_scheduled(
+            &self.sched_rows,
             data,
             nx,
             &mut self.pool_x,
             || DctScratch::new(nx),
-            |_, row, scratch| Self::run_kernel(plan_x, kernel_x, row, scratch),
+            |_, row, scratch| Self::run_kernel(plan_x, engine, kernel_x, row, scratch),
         );
         {
             let src: &[f64] = data;
-            for_each_unit(
-                &exec,
+            for_each_unit_scheduled(
+                &self.sched_cols,
                 &mut self.transpose_buf,
                 ny,
+                &mut unit_pool,
                 || (),
                 |ix, col, _| {
                     for (iy, v) in col.iter_mut().enumerate() {
@@ -282,22 +359,23 @@ impl Transform2d {
             );
         }
         let plan_y = &self.plan_y;
-        for_each_unit_pooled(
-            &exec,
+        for_each_unit_scheduled(
+            &self.sched_cols,
             &mut self.transpose_buf,
             ny,
             &mut self.pool_y,
             || DctScratch::new(ny),
-            |_, col, scratch| Self::run_kernel(plan_y, kernel_y, col, scratch),
+            |_, col, scratch| Self::run_kernel(plan_y, engine, kernel_y, col, scratch),
         );
         // Transpose back with the caller's scale fused into the copy:
         // `v·scale` is the identical product the separate post-pass would
         // compute, and `·1.0` is a bitwise identity for the unscaled calls.
         let src: &[f64] = &self.transpose_buf;
-        for_each_unit(
-            &exec,
+        for_each_unit_scheduled(
+            &self.sched_rows,
             data,
             nx,
+            &mut unit_pool,
             || (),
             |iy, row, _| {
                 for (ix, v) in row.iter_mut().enumerate() {
@@ -307,11 +385,20 @@ impl Transform2d {
         );
     }
 
-    fn run_kernel(plan: &DctPlan, kernel: Kernel, line: &mut [f64], scratch: &mut DctScratch) {
-        match kernel {
-            Kernel::Dct2 => plan.dct2_inplace(line, scratch),
-            Kernel::Dct3 => plan.dct3_inplace(line, scratch),
-            Kernel::Dst3 => plan.dst3_inplace(line, scratch),
+    fn run_kernel(
+        plan: &DctPlan,
+        engine: SpectralEngine,
+        kernel: Kernel,
+        line: &mut [f64],
+        scratch: &mut DctScratch,
+    ) {
+        match (engine, kernel) {
+            (SpectralEngine::V1, Kernel::Dct2) => plan.dct2_inplace(line, scratch),
+            (SpectralEngine::V1, Kernel::Dct3) => plan.dct3_inplace(line, scratch),
+            (SpectralEngine::V1, Kernel::Dst3) => plan.dst3_inplace(line, scratch),
+            (SpectralEngine::V2, Kernel::Dct2) => plan.dct2_v2(line, 0, 1, scratch),
+            (SpectralEngine::V2, Kernel::Dct3) => plan.dct3_v2(line, 0, 1, 1.0, scratch),
+            (SpectralEngine::V2, Kernel::Dst3) => plan.dst3_v2(line, 0, 1, 1.0, scratch),
         }
     }
 }
@@ -357,7 +444,7 @@ mod tests {
         let (nx, ny) = (8, 4);
         let data = grid(nx, ny);
         let mut fast = data.clone();
-        Transform2d::new(nx, ny).dct2(&mut fast);
+        Transform2d::new(nx, ny).unwrap().dct2(&mut fast);
         let slow = naive_2d(&data, nx, ny, reference::naive_dct2, reference::naive_dct2);
         for (a, b) in fast.iter().zip(&slow) {
             assert!((a - b).abs() < 1e-9);
@@ -369,7 +456,7 @@ mod tests {
         let (nx, ny) = (8, 8);
         let data = grid(nx, ny);
         let mut fast = data.clone();
-        Transform2d::new(nx, ny).dst3_x(&mut fast);
+        Transform2d::new(nx, ny).unwrap().dst3_x(&mut fast);
         let slow = naive_2d(&data, nx, ny, reference::naive_dst3, reference::naive_dct3);
         for (a, b) in fast.iter().zip(&slow) {
             assert!((a - b).abs() < 1e-9);
@@ -381,7 +468,7 @@ mod tests {
         let (nx, ny) = (4, 16);
         let data = grid(nx, ny);
         let mut fast = data.clone();
-        Transform2d::new(nx, ny).dst3_y(&mut fast);
+        Transform2d::new(nx, ny).unwrap().dst3_y(&mut fast);
         let slow = naive_2d(&data, nx, ny, reference::naive_dct3, reference::naive_dst3);
         for (a, b) in fast.iter().zip(&slow) {
             assert!((a - b).abs() < 1e-9);
@@ -392,7 +479,7 @@ mod tests {
     fn rectangular_grids_round_trip() {
         for &(nx, ny) in &[(2usize, 8usize), (8, 2), (16, 4)] {
             let data = grid(nx, ny);
-            let mut t = Transform2d::new(nx, ny);
+            let mut t = Transform2d::new(nx, ny).unwrap();
             let mut work = data.clone();
             t.dct2(&mut work);
             t.dct3(&mut work);
@@ -408,7 +495,7 @@ mod tests {
         // Putting one coefficient into the (u,v)=(2,1) slot and running the
         // cos·cos synthesis reproduces the analytic eigenfunction.
         let (nx, ny) = (8, 8);
-        let mut t = Transform2d::new(nx, ny);
+        let mut t = Transform2d::new(nx, ny).unwrap();
         let mut coeffs = vec![0.0; nx * ny];
         coeffs[ny_index(2, 1, nx)] = 1.0;
         t.dct3(&mut coeffs);
@@ -428,26 +515,26 @@ mod tests {
     #[test]
     #[should_panic(expected = "differs from")]
     fn wrong_buffer_panics() {
-        let mut t = Transform2d::new(4, 4);
+        let mut t = Transform2d::new(4, 4).unwrap();
         let mut bad = vec![0.0; 10];
         t.dct2(&mut bad);
     }
 
     #[test]
     fn accessors() {
-        let t = Transform2d::new(4, 8);
+        let t = Transform2d::new(4, 8).unwrap();
         assert_eq!(t.nx(), 4);
         assert_eq!(t.ny(), 8);
     }
 
     #[test]
     fn plans_are_shared_between_instances() {
-        let a = Transform2d::new(16, 32);
-        let b = Transform2d::new(16, 32);
+        let a = Transform2d::new(16, 32).unwrap();
+        let b = Transform2d::new(16, 32).unwrap();
         assert!(a.plan_x.shares_tables_with(&b.plan_x));
         assert!(a.plan_y.shares_tables_with(&b.plan_y));
         // Square grids share one plan across both axes.
-        let c = Transform2d::new(32, 32);
+        let c = Transform2d::new(32, 32).unwrap();
         assert!(c.plan_x.shares_tables_with(&c.plan_y));
     }
 
@@ -460,6 +547,7 @@ mod tests {
             for op in 0..4 {
                 let run = |threads: usize| {
                     let mut t = Transform2d::new(nx, ny)
+                        .unwrap()
                         .with_exec(eplace_exec::ExecConfig::with_threads(threads));
                     let mut w = data.clone();
                     match op {
@@ -498,7 +586,7 @@ mod tests {
                 ((Transform2d::dst3_y, Transform2d::dst3_y_scaled), "dst3_y"),
             ];
             for ((unscaled, scaled), name) in cases {
-                let mut t = Transform2d::new(nx, ny).with_exec(exec);
+                let mut t = Transform2d::new(nx, ny).unwrap().with_exec(exec);
                 let mut expect = data.clone();
                 unscaled(&mut t, &mut expect);
                 for v in expect.iter_mut() {
@@ -513,7 +601,9 @@ mod tests {
 
     #[test]
     fn repeated_calls_reuse_scratch_pools() {
-        let mut t = Transform2d::new(16, 16).with_exec(eplace_exec::ExecConfig::with_threads(4));
+        let mut t = Transform2d::new(16, 16)
+            .unwrap()
+            .with_exec(eplace_exec::ExecConfig::with_threads(4));
         let mut w = grid(16, 16);
         t.dct2(&mut w);
         let (px, py) = (t.pool_x.len(), t.pool_y.len());
@@ -522,5 +612,140 @@ mod tests {
         t.dst3_x(&mut w);
         assert_eq!(t.pool_x.len(), px);
         assert_eq!(t.pool_y.len(), py);
+    }
+
+    #[test]
+    fn non_power_of_two_dimension_is_a_typed_error() {
+        assert!(Transform2d::new(12, 8).is_err());
+        assert!(Transform2d::new(8, 12).is_err());
+        assert!(Transform2d::new(0, 8).is_err());
+    }
+
+    #[test]
+    fn v2_matches_naive_separable() {
+        for &(nx, ny) in &[(2usize, 8usize), (8, 4), (16, 16), (4, 32)] {
+            let data = grid(nx, ny);
+            let mut t = Transform2d::new(nx, ny)
+                .unwrap()
+                .with_engine(SpectralEngine::V2);
+            assert_eq!(t.engine(), SpectralEngine::V2);
+            type Ref = fn(&[f64]) -> Vec<f64>;
+            type Op = fn(&mut Transform2d, &mut [f64]);
+            let cases: [(Op, Ref, Ref); 4] = [
+                (
+                    Transform2d::dct2,
+                    reference::naive_dct2,
+                    reference::naive_dct2,
+                ),
+                (
+                    Transform2d::dct3,
+                    reference::naive_dct3,
+                    reference::naive_dct3,
+                ),
+                (
+                    Transform2d::dst3_x,
+                    reference::naive_dst3,
+                    reference::naive_dct3,
+                ),
+                (
+                    Transform2d::dst3_y,
+                    reference::naive_dct3,
+                    reference::naive_dst3,
+                ),
+            ];
+            for (op, fx, fy) in cases {
+                let mut fast = data.clone();
+                op(&mut t, &mut fast);
+                let slow = naive_2d(&data, nx, ny, fx, fy);
+                for (a, b) in fast.iter().zip(&slow) {
+                    assert!((a - b).abs() < 1e-9, "{nx}x{ny}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn v2_parallel_transforms_are_bitwise_serial() {
+        // The v2 engine must honor the same thread-count invariance contract
+        // as v1: threads ∈ {1, 2, 3, 8} all produce identical bits.
+        for &(nx, ny) in &[(8usize, 8usize), (16, 4), (4, 32)] {
+            let data = grid(nx, ny);
+            for op in 0..5 {
+                let run = |threads: usize| {
+                    let mut t = Transform2d::new(nx, ny)
+                        .unwrap()
+                        .with_engine(SpectralEngine::V2)
+                        .with_exec(eplace_exec::ExecConfig::with_threads(threads));
+                    let mut w = data.clone();
+                    match op {
+                        0 => t.dct2(&mut w),
+                        1 => t.dct3(&mut w),
+                        2 => t.dst3_x(&mut w),
+                        3 => t.dst3_y(&mut w),
+                        _ => t.dct3_scaled(&mut w, 0.37),
+                    }
+                    w
+                };
+                let serial = run(1);
+                for threads in [2, 3, 8] {
+                    let par = run(threads);
+                    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                    assert_eq!(bits(&serial), bits(&par), "{nx}x{ny} op {op} t {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn v2_scaled_syntheses_are_bitwise_transform_then_scale() {
+        let (nx, ny) = (16usize, 8usize);
+        let data = grid(nx, ny);
+        let scale = 0.0625 * 0.73;
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        for threads in [1usize, 4] {
+            let exec = eplace_exec::ExecConfig::with_threads(threads);
+            type Pair = (
+                fn(&mut Transform2d, &mut [f64]),
+                fn(&mut Transform2d, &mut [f64], f64),
+            );
+            let cases: [(Pair, &str); 3] = [
+                ((Transform2d::dct3, Transform2d::dct3_scaled), "dct3"),
+                ((Transform2d::dst3_x, Transform2d::dst3_x_scaled), "dst3_x"),
+                ((Transform2d::dst3_y, Transform2d::dst3_y_scaled), "dst3_y"),
+            ];
+            for ((unscaled, scaled), name) in cases {
+                let mut t = Transform2d::new(nx, ny)
+                    .unwrap()
+                    .with_engine(SpectralEngine::V2)
+                    .with_exec(exec);
+                let mut expect = data.clone();
+                unscaled(&mut t, &mut expect);
+                for v in expect.iter_mut() {
+                    *v *= scale;
+                }
+                let mut fused = data.clone();
+                scaled(&mut t, &mut fused, scale);
+                assert_eq!(bits(&expect), bits(&fused), "{name} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn set_exec_adopts_plan_carried_schedules() {
+        // The schedules a transform consumes are the plan cache's shared
+        // objects for the configured thread count, not per-call recomputes.
+        let mut t = Transform2d::new(16, 32).unwrap();
+        assert_eq!(t.sched_rows.workers(), 1);
+        assert_eq!(t.sched_cols.workers(), 1);
+        let exec = eplace_exec::ExecConfig::with_threads(3);
+        t.set_exec(exec);
+        assert_eq!(t.sched_rows.units(), 32);
+        assert_eq!(t.sched_cols.units(), 16);
+        assert_eq!(t.sched_rows.workers(), 3);
+        assert!(Arc::ptr_eq(&t.sched_rows, &t.plan_y.schedule(&exec)));
+        assert!(Arc::ptr_eq(&t.sched_cols, &t.plan_x.schedule(&exec)));
+        // And the transform still works after the swap.
+        let mut w = grid(16, 32);
+        t.dct2(&mut w);
     }
 }

@@ -113,7 +113,7 @@ fn legalization_postconditions() {
 fn fft_round_trip() {
     check("fft_round_trip", CASES, |g| {
         let values: Vec<f64> = (0..128).map(|_| g.f64_range(-100.0, 100.0)).collect();
-        let plan = FftPlan::new(64);
+        let plan = FftPlan::new(64).unwrap();
         let input: Vec<_> = values
             .chunks(2)
             .map(|c| eplace_repro::spectral::Complex::new(c[0], c[1]))
@@ -131,7 +131,7 @@ fn fft_round_trip() {
 fn dct_matches_naive_on_arbitrary_signals() {
     check("dct_matches_naive_on_arbitrary_signals", CASES, |g| {
         let values: Vec<f64> = (0..32).map(|_| g.f64_range(-50.0, 50.0)).collect();
-        let plan = DctPlan::new(32);
+        let plan = DctPlan::new(32).unwrap();
         let fast = plan.dct2(&values);
         let slow = reference::naive_dct2(&values);
         for (a, b) in fast.iter().zip(&slow) {
